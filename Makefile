@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all test race bench experiments charts fuzz clean
+
+all: test
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/acbench
+
+charts:
+	$(GO) run ./cmd/acbench -charts
+
+fuzz:
+	$(GO) test ./internal/cache/ -fuzz FuzzCacheOps -fuzztime 30s
+
+# The artifacts recorded in the repository.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,86 @@
+// Command acbench regenerates every table and figure of "Implementation
+// and Performance of Application-Controlled File Caching" (Cao, Felten,
+// Li; OSDI 1994) on the simulated reproduction, printing each measurement
+// next to the paper's published value.
+//
+// Usage:
+//
+//	acbench [-run all|fig4|fig5|fig6|table1|table2|table3|table4|ablation]
+//	        [-sizes 6.4,8,12,16]
+//
+// Block I/O counts should land close to the paper's; elapsed times are
+// produced by a calibrated CPU/disk model and should match in shape
+// (who wins, by roughly what factor, where the crossovers fall).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+strings.Join(expt.Order, ", "))
+	sizesFlag := flag.String("sizes", "", "comma-separated cache sizes in MB for fig4/fig5/fig6 (default: the paper's 6.4,8,12,16)")
+	chartsFlag := flag.Bool("charts", false, "render Figures 4-6 as ASCII bar charts instead of tables")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acbench:", err)
+		os.Exit(2)
+	}
+
+	if *chartsFlag {
+		for _, c := range expt.Charts(sizes) {
+			c.Render(os.Stdout)
+		}
+		return
+	}
+
+	ids := expt.Order
+	if *runFlag != "all" {
+		if _, ok := expt.Experiments[*runFlag]; !ok {
+			fmt.Fprintf(os.Stderr, "acbench: unknown experiment %q (want all, %s)\n",
+				*runFlag, strings.Join(expt.Order, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*runFlag}
+	}
+
+	for _, id := range ids {
+		var tables []expt.Table
+		switch {
+		case sizes != nil && id == "fig4":
+			tables = expt.Fig4(sizes)
+		case sizes != nil && id == "fig5":
+			tables = expt.Fig5(sizes)
+		case sizes != nil && id == "fig6":
+			tables = expt.Fig6(sizes)
+		default:
+			tables = expt.Experiments[id]()
+		}
+		for i := range tables {
+			tables[i].Render(os.Stdout)
+		}
+	}
+}
+
+func parseSizes(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad cache size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

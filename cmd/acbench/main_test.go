@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("6.4, 8,12")
+	if err != nil || len(got) != 3 || got[0] != 6.4 || got[2] != 12 {
+		t.Errorf("parseSizes = %v, %v", got, err)
+	}
+	if got, err := parseSizes(""); got != nil || err != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-3", "6.4,,8"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestBuildApp(t *testing.T) {
+	for _, name := range []string{"din", "cs2", "sort", "read300", "read490"} {
+		app, err := buildApp(name)
+		if err != nil || app == nil {
+			t.Errorf("buildApp(%q) = %v, %v", name, app, err)
+		}
+	}
+	for _, bad := range []string{"nope", "read", "readx", "read0"} {
+		if _, err := buildApp(bad); err == nil {
+			t.Errorf("buildApp(%q) accepted", bad)
+		}
+	}
+	if a, _ := buildApp("read300"); a.Name() != "read300" {
+		t.Errorf("read300 name = %q", a.Name())
+	}
+	if a, _ := buildApp("read444"); a.Name() != "read444" {
+		t.Errorf("probe name = %q", a.Name())
+	}
+}

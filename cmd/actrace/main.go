@@ -1,0 +1,161 @@
+// Command actrace runs one of the paper's workloads and either dumps its
+// block reference stream or prints a summary of the run: per-process
+// statistics, buffer-cache counters, manager decision quality, and
+// per-disk behaviour.
+//
+// Usage:
+//
+//	actrace -app din [-mode smart] [-cache 6.4] [-alloc lru-sp] [-dump]
+//
+// With -dump, every access is written to stdout as
+//
+//	time proc file:block [R|W] [hit|miss]
+//
+// which is handy for eyeballing an application's access pattern or
+// feeding another cache simulator.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var allocNames = map[string]cache.Alloc{
+	"global-lru": cache.GlobalLRU,
+	"lru-sp":     cache.LRUSP,
+	"lru-s":      cache.LRUS,
+	"alloc-lru":  cache.AllocLRU,
+}
+
+var modeNames = map[string]workload.Mode{
+	"oblivious": workload.Oblivious,
+	"smart":     workload.Smart,
+	"foolish":   workload.Foolish,
+}
+
+func main() {
+	appFlag := flag.String("app", "", "workload: "+strings.Join(appNames(), ", "))
+	modeFlag := flag.String("mode", "smart", "oblivious, smart or foolish")
+	cacheFlag := flag.Float64("cache", 6.4, "cache size in MB")
+	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
+	dumpFlag := flag.Bool("dump", false, "dump the block reference stream")
+	compareFlag := flag.Bool("compare", false, "replay the reference stream through standalone LRU, MRU and Belady-OPT caches")
+	flag.Parse()
+
+	mk, ok := expt.Registry[*appFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "actrace: unknown app %q (want %s)\n", *appFlag, strings.Join(appNames(), ", "))
+		os.Exit(2)
+	}
+	mode, ok := modeNames[*modeFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "actrace: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	alloc, ok := allocNames[*allocFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "actrace: unknown alloc %q\n", *allocFlag)
+		os.Exit(2)
+	}
+	if mode != workload.Oblivious && alloc == cache.GlobalLRU {
+		fmt.Fprintln(os.Stderr, "actrace: the original kernel (global-lru) supports only oblivious mode")
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = core.MB(*cacheFlag)
+	cfg.Alloc = alloc
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var captured trace.Trace
+	if *compareFlag {
+		cfg.Trace = func(ev core.TraceEvent) { captured.Append(ev.File, ev.Block) }
+	} else if *dumpFlag {
+		cfg.Trace = func(ev core.TraceEvent) {
+			op, res := "R", "miss"
+			if ev.Write {
+				op = "W"
+			}
+			if ev.Hit {
+				res = "hit"
+			}
+			fmt.Fprintf(out, "%12d %s f%d:%d %s %s\n", int64(ev.Time), ev.Name, ev.File, ev.Block, op, res)
+		}
+	}
+
+	sys := core.NewSystem(cfg)
+	app := mk()
+	p := workload.Launch(sys, app, mode)
+	sys.Run()
+
+	if *compareFlag {
+		capacity := cfg.CacheBlocks()
+		fmt.Fprintf(out, "%s reference stream: %d refs, %d unique blocks; standalone caches of %d blocks (%.1f MB)\n",
+			app.Name(), captured.Len(), captured.Unique(), capacity, *cacheFlag)
+		for _, r := range trace.Compare(captured.Refs, capacity) {
+			fmt.Fprintf(out, "  %-4s %7d misses  %5.1f%% hit ratio\n", r.Policy, r.Misses, 100*r.HitRatio())
+		}
+		return
+	}
+	if *dumpFlag {
+		return
+	}
+	st := p.Stats()
+	fmt.Fprintf(out, "%s (%s) on %s, %.1f MB cache\n", app.Name(), mode, alloc, *cacheFlag)
+	fmt.Fprintf(out, "  elapsed        %v\n", p.Elapsed())
+	fmt.Fprintf(out, "  block I/Os     %d (demand %d, read-ahead %d, write-back %d)\n",
+		st.BlockIOs(), st.DemandReads, st.Prefetches, st.WriteBacks)
+	fmt.Fprintf(out, "  accesses       %d reads, %d writes (%d hits, %d misses, %.1f%% hit ratio)\n",
+		st.ReadCalls, st.WriteCalls, st.Hits, st.Misses,
+		100*float64(st.Hits)/float64(st.Hits+st.Misses))
+	fmt.Fprintf(out, "  fbehavior      %d calls\n", st.FbehaviorCalls)
+	if ic := sys.InodeCache(); ic != nil && st.Opens > 0 {
+		ms := ic.Stats()
+		fmt.Fprintf(out, "  metadata       %d opens, %d inode reads (inode cache %.0f%% hit)\n",
+			st.Opens, st.MetadataReads, 100*ms.HitRatio())
+	}
+	cs := sys.Cache().Stats()
+	fmt.Fprintf(out, "cache: %d evictions, %d overrules, %d placeholder hits, %d revocations\n",
+		cs.Evictions, cs.Overrules, cs.PlaceholderHits, cs.Revocations)
+	if m, ok := sys.ACM().ManagerOf(p.ID()); ok {
+		fmt.Fprintf(out, "manager: %d decisions, %d overrules, %d mistakes\n",
+			m.Decisions, m.Overrules, m.Mistakes)
+		sizes := m.LevelSizes()
+		var prios []int
+		for prio := range sizes {
+			prios = append(prios, prio)
+		}
+		sort.Ints(prios)
+		for _, prio := range prios {
+			fmt.Fprintf(out, "  pool %+d: %d blocks (%s)\n", prio, sizes[prio], m.PolicyOf(prio))
+		}
+	}
+	for i := 0; i < 2; i++ {
+		d := sys.Disk(i)
+		ds := d.Stats()
+		if ds.IOs() == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "disk %s: %d reads, %d writes, %d sequential, %d positioned, max queue %d\n",
+			d.Geometry().Name, ds.Reads, ds.Writes, ds.Sequential, ds.RandomAcc, ds.MaxQueue)
+	}
+}
+
+func appNames() []string {
+	var names []string
+	for n := range expt.Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

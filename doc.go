@@ -1,0 +1,47 @@
+// Package acfc is a faithful, fully-simulated reproduction of
+// "Implementation and Performance of Application-Controlled File Caching"
+// (Pei Cao, Edward W. Felten, Kai Li; OSDI 1994).
+//
+// The paper lets applications control which of their own file-cache blocks
+// get replaced, while the kernel keeps control of how many blocks each
+// process holds. Its pieces, all implemented here from scratch:
+//
+//   - Two-level replacement: on a miss the kernel picks a candidate victim
+//     and asks the candidate owner's manager which block to actually give
+//     up.
+//   - LRU-SP: the kernel's allocation policy — a global LRU list plus
+//     swapping (overruled candidates trade places with the chosen victim)
+//     and placeholders (records that catch a manager's mistakes and
+//     redirect future candidates at them).
+//   - The fbehavior interface: set_priority / get_priority / set_policy /
+//     get_policy / set_temppri, with files of equal priority forming one
+//     replacement pool governed by LRU or MRU.
+//
+// Because the original ran inside an Ultrix 4.3 kernel on DEC 5000/240
+// hardware, this library recreates the whole machine as a deterministic
+// discrete-event simulation: CPU, RZ56/RZ26 disks with a C-LOOK elevator
+// on a shared SCSI bus, an extent-based file system, the buffer cache
+// (BUF), the application control module (ACM), an update daemon, and the
+// paper's eight applications (cscope x3, dinero, glimpse, the link
+// editor, a Postgres join, external sort, and the synthetic ReadN).
+//
+// Quick start:
+//
+//	sys := acfc.NewSystem(acfc.DefaultConfig())
+//	f := sys.CreateFile("trace", 0, 1024)
+//	p := sys.Spawn("app", func(p *acfc.Proc) {
+//		p.EnableControl()
+//		p.SetPriority(f, 0)
+//		p.SetPolicy(0, acfc.MRU) // cyclic scans want MRU
+//		for pass := 0; pass < 9; pass++ {
+//			p.ReadSeq(f, 0, int32(f.Size()))
+//		}
+//	})
+//	sys.Run()
+//	fmt.Println(p.Stats().BlockIOs(), p.Elapsed())
+//
+// Every table and figure of the paper's evaluation regenerates through
+// the experiment drivers (see repro/internal/expt and cmd/acbench) and
+// the benchmarks in bench_test.go; EXPERIMENTS.md records measured vs
+// published values.
+package acfc

@@ -1,0 +1,97 @@
+// extsort demonstrates the done-with pattern: an external merge sort whose
+// temporary files are written once and read once. The smart version tells
+// the kernel three things from the paper's sort strategy — flush the
+// read-once input first (priority -1), prefer to keep the earliest-written
+// temporaries (MRU), and flush each block the moment the merge has
+// consumed it (set_temppri ... -1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	acfc "repro"
+)
+
+const (
+	inputBlocks = 1088 // 8.5 MB input
+	runBlocks   = 64   // 512 KB in-core sort buffer
+	fanIn       = 8
+)
+
+func run(smart bool) (int64, acfc.Time) {
+	cfg := acfc.DefaultConfig()
+	if !smart {
+		cfg.Alloc = acfc.GlobalLRU
+	}
+	sys := acfc.NewSystem(cfg)
+	input := sys.CreateFile("input", 1, inputBlocks)
+
+	p := sys.Spawn("sort", func(p *acfc.Proc) {
+		if smart {
+			if err := p.EnableControl(); err != nil {
+				log.Fatal(err)
+			}
+			p.SetPolicy(-1, acfc.MRU)
+			p.SetPolicy(0, acfc.MRU)
+			p.SetPriority(input, -1)
+		}
+		consume := func(f *acfc.File, b int32, comp acfc.Time) {
+			p.Read(f, b)
+			p.Compute(comp)
+			if smart {
+				p.SetTempPri(f, b, b, -1) // done with this block
+			}
+		}
+		// Run formation.
+		var runs []*acfc.File
+		for start := int32(0); start < inputBlocks; start += runBlocks {
+			run := p.CreateFile(fmt.Sprintf("run%03d", len(runs)), 1, 0)
+			for b := start; b < start+runBlocks && b < inputBlocks; b++ {
+				consume(input, b, 10*acfc.Millisecond)
+				p.Write(run, b-start)
+			}
+			runs = append(runs, run)
+		}
+		// 8-way merges, earliest-created runs first.
+		for level := 0; len(runs) > 1; level++ {
+			var next []*acfc.File
+			for i := 0; i < len(runs); i += fanIn {
+				j := min(i+fanIn, len(runs))
+				out := p.CreateFile(fmt.Sprintf("m%d-%03d", level, len(next)), 1, 0)
+				cursors := make([]int32, j-i)
+				for outBlk := int32(0); ; {
+					advanced := false
+					for k, src := range runs[i:j] {
+						if int(cursors[k]) >= src.Size() {
+							continue
+						}
+						consume(src, cursors[k], 8*acfc.Millisecond)
+						cursors[k]++
+						p.Write(out, outBlk)
+						outBlk++
+						advanced = true
+					}
+					if !advanced {
+						break
+					}
+				}
+				for _, src := range runs[i:j] {
+					p.RemoveFile(src)
+				}
+				next = append(next, out)
+			}
+			runs = next
+		}
+	})
+	sys.Run()
+	return p.Stats().BlockIOs(), p.Elapsed()
+}
+
+func main() {
+	lruIOs, lruT := run(false)
+	smartIOs, smartT := run(true)
+	fmt.Printf("oblivious sort: %5d block I/Os, %v\n", lruIOs, lruT)
+	fmt.Printf("smart sort:     %5d block I/Os, %v\n", smartIOs, smartT)
+	fmt.Printf("I/Os cut by %.0f%%\n", 100*(1-float64(smartIOs)/float64(lruIOs)))
+}

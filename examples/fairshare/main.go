@@ -1,0 +1,64 @@
+// fairshare demonstrates why the kernel's allocation policy needs both of
+// LRU-SP's extensions (the paper's Section 6), by re-running two of the
+// paper's own configurations at the default 6.4 MB cache.
+//
+// Part 1 — is swapping necessary? The cs2+gli mix (both smart) runs under
+// ALLOC-LRU, which consults managers but never swaps an overruled
+// candidate with the chosen victim. Without swapping, a smart process's
+// resident set keeps looking stale to the kernel, so it keeps being picked
+// as the victim donor and loses the benefit of its own good policy
+// (Figure 6).
+//
+// Part 2 — are placeholders necessary? An oblivious probe (Read400) runs
+// next to a foolish Read300 that uses MRU, the worst possible policy for
+// its pattern. Without placeholders (LRU-S) the fool's self-inflicted
+// misses take their victims from the innocent probe; with them (LRU-SP)
+// each miss is redirected at the block the foolish manager wrongly kept
+// (Table 1).
+package main
+
+import (
+	"fmt"
+
+	acfc "repro"
+)
+
+func mix(alloc acfc.Alloc, builders []func() acfc.Workload, modes []acfc.Mode) []int64 {
+	cfg := acfc.DefaultConfig()
+	cfg.Alloc = alloc
+	sys := acfc.NewSystem(cfg)
+	var procs []*acfc.Proc
+	for i, mk := range builders {
+		procs = append(procs, acfc.Launch(sys, mk(), modes[i]))
+	}
+	sys.Run()
+	var ios []int64
+	for _, p := range procs {
+		ios = append(ios, p.Stats().BlockIOs())
+	}
+	return ios
+}
+
+func main() {
+	fmt.Println("Part 1: cs2+gli, both smart, 6.4 MB cache (is swapping necessary?)")
+	smartMix := []func() acfc.Workload{acfc.Cscope2, acfc.Glimpse}
+	smartModes := []acfc.Mode{acfc.Smart, acfc.Smart}
+	sp := mix(acfc.LRUSP, smartMix, smartModes)
+	al := mix(acfc.AllocLRU, smartMix, smartModes)
+	fmt.Printf("  lru-sp:    cs2 %6d I/Os, gli %6d I/Os, total %6d\n", sp[0], sp[1], sp[0]+sp[1])
+	fmt.Printf("  alloc-lru: cs2 %6d I/Os, gli %6d I/Os, total %6d\n", al[0], al[1], al[0]+al[1])
+	fmt.Printf("  without swapping the mix does %.0f%% more I/O\n\n",
+		100*(float64(al[0]+al[1])/float64(sp[0]+sp[1])-1))
+
+	fmt.Println("Part 2: oblivious Read490 probe next to a foolish Read300 (are placeholders necessary?)")
+	probeMix := []func() acfc.Workload{
+		func() acfc.Workload { return acfc.Read300(0) },
+		func() acfc.Workload { return acfc.ReadN(490, 1170, 0) },
+	}
+	obl := mix(acfc.LRUSP, probeMix, []acfc.Mode{acfc.Oblivious, acfc.Oblivious})
+	unprot := mix(acfc.LRUS, probeMix, []acfc.Mode{acfc.Foolish, acfc.Oblivious})
+	prot := mix(acfc.LRUSP, probeMix, []acfc.Mode{acfc.Foolish, acfc.Oblivious})
+	fmt.Printf("  background oblivious, lru-sp:  probe %5d I/Os (baseline)\n", obl[1])
+	fmt.Printf("  background foolish,   lru-s:   probe %5d I/Os (unprotected)\n", unprot[1])
+	fmt.Printf("  background foolish,   lru-sp:  probe %5d I/Os (placeholders protect)\n", prot[1])
+}

@@ -1,0 +1,523 @@
+// Package acm implements the paper's Application Control Module: the
+// kernel-side proxy for user-level cache managers. A process that wants to
+// control its own caching gets a Manager; the manager groups the process's
+// cached blocks into priority levels (all files with the same priority form
+// one pool), applies an LRU or MRU replacement policy within each pool, and
+// answers the buffer cache's replace_block upcalls by giving up a block
+// from its lowest-priority non-empty pool.
+//
+// The user-visible interface is the paper's five fbehavior operations:
+//
+//	SetPriority / Priority    — long-term priority of a file
+//	SetPolicy / Policy        — replacement policy of a priority level
+//	SetTempPri                — temporary priority for a range of blocks
+//
+// A temporary priority affects only blocks currently in the cache and
+// lasts until the block is next referenced or replaced, after which the
+// block reverts to its file's long-term priority.
+package acm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// Policy is a per-priority-level replacement policy.
+type Policy int
+
+// Replacement policies offered by the interface (the paper offers exactly
+// these two).
+const (
+	LRU Policy = iota
+	MRU
+)
+
+func (p Policy) String() string {
+	if p == MRU {
+		return "MRU"
+	}
+	return "LRU"
+}
+
+// DefaultPriority is the long-term priority files have unless changed.
+const DefaultPriority = 0
+
+// Limits caps the kernel resources one manager may consume, as the paper's
+// implementation does ("fails the calls if the limit would be exceeded").
+type Limits struct {
+	MaxManagers    int // total managers
+	MaxLevels      int // priority levels per manager
+	MaxFileRecords int // files with non-default priority per manager
+}
+
+// DefaultLimits are generous enough for every workload in the paper.
+var DefaultLimits = Limits{MaxManagers: 64, MaxLevels: 32, MaxFileRecords: 512}
+
+// node is the ACM's per-block state, stored in Buf.Aux.
+type node struct {
+	buf        *cache.Buf
+	lvl        *level
+	prev, next *node
+	temp       bool // parked at a temporary priority
+}
+
+// level is one priority pool. Its list is kept in LRU order: head.next is
+// the least recently used block, tail.prev the most recently used.
+type level struct {
+	prio       int
+	policy     Policy
+	head, tail *node // sentinels
+	n          int
+}
+
+func newLevel(prio int, policy Policy) *level {
+	l := &level{prio: prio, policy: policy, head: &node{}, tail: &node{}}
+	l.head.next = l.tail
+	l.tail.prev = l.head
+	return l
+}
+
+func (l *level) unlink(nd *node) {
+	nd.prev.next = nd.next
+	nd.next.prev = nd.prev
+	nd.prev, nd.next = nil, nil
+	l.n--
+	nd.lvl = nil
+}
+
+// linkMRU appends at the most-recently-used end.
+func (l *level) linkMRU(nd *node) {
+	nd.prev = l.tail.prev
+	nd.next = l.tail
+	nd.prev.next = nd
+	l.tail.prev = nd
+	nd.lvl = l
+	l.n++
+}
+
+// linkLRU prepends at the least-recently-used end.
+func (l *level) linkLRU(nd *node) {
+	nd.next = l.head.next
+	nd.prev = l.head
+	nd.next.prev = nd
+	l.head.next = nd
+	nd.lvl = l
+	l.n++
+}
+
+// linkLater inserts at the end that causes the block to be replaced
+// later under this level's policy: the MRU end for LRU, the LRU end for
+// MRU. This is the paper's rule for blocks moving between lists.
+func (l *level) linkLater(nd *node) {
+	if l.policy == LRU {
+		l.linkMRU(nd)
+	} else {
+		l.linkLRU(nd)
+	}
+}
+
+// victim returns the block this level's policy would replace, along with
+// a fallback choice. Blocks that are busy (I/O in flight at time now) are
+// never returned. In an MRU pool, blocks that have never been referenced
+// (read-ahead still waiting for its first use) are reported only as the
+// fallback: MRU orders blocks by *use* recency, which an unused prefetch
+// does not have, and evicting one throws away an I/O already paid for.
+// LRU pools do not make this distinction, so a manager with default
+// settings remains exactly LRU. The caller prefers a referenced victim
+// from any level over an unreferenced fallback.
+func (l *level) victim(now sim.Time) (v, fallback *node) {
+	if l.policy == LRU {
+		for nd := l.head.next; nd != l.tail; nd = nd.next {
+			if !nd.buf.Busy(now) {
+				return nd, nil
+			}
+		}
+		return nil, nil
+	}
+	for nd := l.tail.prev; nd != l.head; nd = nd.prev {
+		if nd.buf.Busy(now) {
+			continue
+		}
+		if !nd.buf.Referenced {
+			if fallback == nil {
+				fallback = nd
+			}
+			continue
+		}
+		return nd, fallback
+	}
+	return nil, fallback
+}
+
+// Manager is one process's cache-control state.
+type Manager struct {
+	acm      *ACM
+	owner    int
+	levels   []*level // sorted by prio ascending
+	filePrio map[fs.FileID]int
+	policies map[int]Policy
+
+	// Counters visible to the application and the experiments.
+	NewBlocks  int64
+	GoneBlocks int64
+	Accesses   int64
+	Decisions  int64 // replace_block upcalls answered
+	Overrules  int64 // answers that differed from the candidate
+	Mistakes   int64 // placeholder_used notifications
+}
+
+// ACM is the application control module shared by all managers.
+type ACM struct {
+	now      func() sim.Time
+	limits   Limits
+	managers map[int]*Manager
+}
+
+// New builds an ACM. The now function supplies virtual time for busy-block
+// checks (pass engine.Now).
+func New(now func() sim.Time, limits Limits) *ACM {
+	if limits.MaxManagers <= 0 {
+		limits = DefaultLimits
+	}
+	return &ACM{now: now, limits: limits, managers: make(map[int]*Manager)}
+}
+
+// CreateManager registers cache control for a process. It fails if the
+// process already has a manager or the manager limit is reached.
+func (a *ACM) CreateManager(owner int) (*Manager, error) {
+	if _, ok := a.managers[owner]; ok {
+		return nil, fmt.Errorf("acm: process %d already has a manager", owner)
+	}
+	if len(a.managers) >= a.limits.MaxManagers {
+		return nil, fmt.Errorf("acm: manager limit (%d) exceeded", a.limits.MaxManagers)
+	}
+	m := &Manager{
+		acm:      a,
+		owner:    owner,
+		filePrio: make(map[fs.FileID]int),
+		policies: make(map[int]Policy),
+	}
+	a.managers[owner] = m
+	return m, nil
+}
+
+// DestroyManager withdraws a process's cache control. Its blocks become
+// unmanaged; the cache falls back to treating them by global policy alone.
+func (a *ACM) DestroyManager(owner int) {
+	m := a.managers[owner]
+	if m == nil {
+		return
+	}
+	for _, l := range m.levels {
+		for nd := l.head.next; nd != l.tail; {
+			next := nd.next
+			nd.buf.Aux = nil
+			nd = next
+		}
+	}
+	delete(a.managers, owner)
+}
+
+// Manager returns the manager for owner, if any.
+func (a *ACM) ManagerOf(owner int) (*Manager, bool) {
+	m, ok := a.managers[owner]
+	return m, ok
+}
+
+// Managed implements cache.Replacer.
+func (a *ACM) Managed(owner int) bool {
+	_, ok := a.managers[owner]
+	return ok
+}
+
+// getLevel finds or creates the pool for prio, honouring MaxLevels.
+func (m *Manager) getLevel(prio int) (*level, error) {
+	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].prio >= prio })
+	if i < len(m.levels) && m.levels[i].prio == prio {
+		return m.levels[i], nil
+	}
+	if len(m.levels) >= m.acm.limits.MaxLevels {
+		return nil, fmt.Errorf("acm: level limit (%d) exceeded", m.acm.limits.MaxLevels)
+	}
+	pol, ok := m.policies[prio]
+	if !ok {
+		pol = LRU
+	}
+	l := newLevel(prio, pol)
+	m.levels = append(m.levels, nil)
+	copy(m.levels[i+1:], m.levels[i:])
+	m.levels[i] = l
+	return l, nil
+}
+
+// longTermLevel returns the pool a block of this file belongs to by its
+// long-term priority.
+func (m *Manager) longTermLevel(file fs.FileID) (*level, error) {
+	prio, ok := m.filePrio[file]
+	if !ok {
+		prio = DefaultPriority
+	}
+	return m.getLevel(prio)
+}
+
+// --- the five BUF -> ACM calls (cache.Replacer) ---
+
+// NewBlock links a freshly cached block into its long-term pool at the
+// most-recently-used position.
+func (a *ACM) NewBlock(b *cache.Buf) {
+	m := a.managers[b.Owner]
+	if m == nil {
+		return
+	}
+	l, err := m.longTermLevel(b.ID.File)
+	if err != nil {
+		// Out of level records: leave the block unmanaged rather than
+		// failing the I/O path.
+		return
+	}
+	nd := &node{buf: b}
+	b.Aux = nd
+	l.linkMRU(nd)
+	m.NewBlocks++
+}
+
+// BlockGone unlinks a block that left the cache.
+func (a *ACM) BlockGone(b *cache.Buf) {
+	nd, _ := b.Aux.(*node)
+	if nd == nil || nd.lvl == nil {
+		return
+	}
+	m := a.managers[b.Owner]
+	nd.lvl.unlink(nd)
+	b.Aux = nil
+	if m != nil {
+		m.GoneBlocks++
+	}
+}
+
+// BlockAccessed refreshes recency and reverts any temporary priority: a
+// temporary priority lasts only until the next reference.
+func (a *ACM) BlockAccessed(b *cache.Buf, off, size int) {
+	nd, _ := b.Aux.(*node)
+	if nd == nil || nd.lvl == nil {
+		return
+	}
+	m := a.managers[b.Owner]
+	if m == nil {
+		return
+	}
+	m.Accesses++
+	if nd.temp {
+		nd.temp = false
+		nd.lvl.unlink(nd)
+		l, err := m.longTermLevel(b.ID.File)
+		if err != nil {
+			b.Aux = nil
+			return
+		}
+		l.linkMRU(nd)
+		return
+	}
+	// Move to the most-recently-used position of its current pool.
+	l := nd.lvl
+	l.unlink(nd)
+	l.linkMRU(nd)
+}
+
+// ReplaceBlock answers the kernel's request on behalf of the candidate's
+// manager: give up a block from the lowest-priority non-empty pool,
+// selected by that pool's policy. Returning the candidate accepts the
+// kernel's suggestion.
+func (a *ACM) ReplaceBlock(candidate *cache.Buf, missing cache.BlockID) *cache.Buf {
+	m := a.managers[candidate.Owner]
+	if m == nil {
+		return candidate
+	}
+	m.Decisions++
+	now := a.now()
+	var fallback *node
+	for _, l := range m.levels {
+		if l.n == 0 {
+			continue
+		}
+		nd, fb := l.victim(now)
+		if fallback == nil {
+			fallback = fb
+		}
+		if nd != nil {
+			if nd.buf != candidate {
+				m.Overrules++
+			}
+			return nd.buf
+		}
+	}
+	if fallback != nil {
+		if fallback.buf != candidate {
+			m.Overrules++
+		}
+		return fallback.buf
+	}
+	return candidate
+}
+
+// PlaceholderUsed records that an earlier overrule was a mistake. The
+// count feeds application-level diagnostics; the kernel-side revocation
+// bookkeeping lives in the cache.
+func (a *ACM) PlaceholderUsed(missing cache.BlockID, pointed *cache.Buf) {
+	if m := a.managers[pointed.Owner]; m != nil {
+		m.Mistakes++
+	}
+}
+
+// --- the fbehavior user interface ---
+
+// SetPriority assigns the long-term cache priority of a file and moves its
+// cached, non-temporary blocks into the new pool (at the later-replaced
+// end, per the paper's movement rule).
+func (m *Manager) SetPriority(file fs.FileID, prio int) error {
+	if prio == DefaultPriority {
+		delete(m.filePrio, file)
+	} else {
+		if _, ok := m.filePrio[file]; !ok && len(m.filePrio) >= m.acm.limits.MaxFileRecords {
+			return fmt.Errorf("acm: file record limit (%d) exceeded", m.acm.limits.MaxFileRecords)
+		}
+		m.filePrio[file] = prio
+	}
+	dst, err := m.getLevel(prio)
+	if err != nil {
+		return err
+	}
+	for _, nd := range m.blocksOf(file) {
+		if nd.temp {
+			continue // temp priority wins until next reference
+		}
+		if nd.lvl == dst {
+			continue
+		}
+		nd.lvl.unlink(nd)
+		dst.linkLater(nd)
+	}
+	return nil
+}
+
+// Priority returns the long-term priority of a file.
+func (m *Manager) Priority(file fs.FileID) int {
+	if p, ok := m.filePrio[file]; ok {
+		return p
+	}
+	return DefaultPriority
+}
+
+// SetPolicy sets the replacement policy of a priority level.
+func (m *Manager) SetPolicy(prio int, pol Policy) error {
+	if pol != LRU && pol != MRU {
+		return fmt.Errorf("acm: unknown policy %d", int(pol))
+	}
+	m.policies[prio] = pol
+	l, err := m.getLevel(prio)
+	if err != nil {
+		return err
+	}
+	l.policy = pol
+	return nil
+}
+
+// PolicyOf returns the replacement policy of a priority level.
+func (m *Manager) PolicyOf(prio int) Policy {
+	if p, ok := m.policies[prio]; ok {
+		return p
+	}
+	return LRU
+}
+
+// SetTempPri gives the cached blocks of file in [startBlk, endBlk] a
+// temporary priority. Only blocks presently in the cache are affected; the
+// change lasts until each block is next referenced or replaced.
+func (m *Manager) SetTempPri(file fs.FileID, startBlk, endBlk int32, prio int) error {
+	if startBlk > endBlk {
+		return fmt.Errorf("acm: bad block range [%d, %d]", startBlk, endBlk)
+	}
+	dst, err := m.getLevel(prio)
+	if err != nil {
+		return err
+	}
+	for _, nd := range m.blocksOf(file) {
+		if nd.buf.ID.Num < startBlk || nd.buf.ID.Num > endBlk {
+			continue
+		}
+		if nd.lvl != dst {
+			nd.lvl.unlink(nd)
+			dst.linkLater(nd)
+		}
+		nd.temp = prio != m.Priority(file)
+	}
+	return nil
+}
+
+// blocksOf collects the manager's cached nodes for a file.
+func (m *Manager) blocksOf(file fs.FileID) []*node {
+	var out []*node
+	for _, l := range m.levels {
+		for nd := l.head.next; nd != l.tail; nd = nd.next {
+			if nd.buf.ID.File == file {
+				out = append(out, nd)
+			}
+		}
+	}
+	return out
+}
+
+// LevelSizes reports pool occupancy by priority, for tests and diagnostics.
+func (m *Manager) LevelSizes() map[int]int {
+	out := make(map[int]int)
+	for _, l := range m.levels {
+		if l.n > 0 {
+			out[l.prio] = l.n
+		}
+	}
+	return out
+}
+
+// PoolOrder returns the block numbers of file's blocks in pool prio, from
+// the LRU end to the MRU end. Intended for tests.
+func (m *Manager) PoolOrder(prio int) []cache.BlockID {
+	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].prio >= prio })
+	if i >= len(m.levels) || m.levels[i].prio != prio {
+		return nil
+	}
+	var out []cache.BlockID
+	for nd := m.levels[i].head.next; nd != m.levels[i].tail; nd = nd.next {
+		out = append(out, nd.buf.ID)
+	}
+	return out
+}
+
+// CheckInvariants panics on structural inconsistency; tests call it.
+func (a *ACM) CheckInvariants() {
+	for owner, m := range a.managers {
+		for _, l := range m.levels {
+			n := 0
+			for nd := l.head.next; nd != l.tail; nd = nd.next {
+				n++
+				if nd.lvl != l {
+					panic(fmt.Sprintf("acm: node %v in level %d claims another level", nd.buf.ID, l.prio))
+				}
+				if nd.buf.Aux != nd {
+					panic(fmt.Sprintf("acm: buf %v Aux does not point back", nd.buf.ID))
+				}
+				if nd.buf.Owner != owner {
+					panic(fmt.Sprintf("acm: buf %v owned by %d in manager %d", nd.buf.ID, nd.buf.Owner, owner))
+				}
+			}
+			if n != l.n {
+				panic(fmt.Sprintf("acm: level %d count %d, walked %d", l.prio, l.n, n))
+			}
+		}
+	}
+}
+
+var _ cache.Replacer = (*ACM)(nil)

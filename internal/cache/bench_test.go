@@ -1,0 +1,55 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fs"
+)
+
+// BenchmarkLookupHit measures the hit path: hash probe plus global-list
+// move-to-front.
+func BenchmarkLookupHit(b *testing.B) {
+	c := cache.New(cache.Config{Capacity: 1024, Alloc: cache.GlobalLRU}, nil)
+	for i := 0; i < 1024; i++ {
+		c.Insert(cache.BlockID{File: 1, Num: int32(i)}, cache.NoOwner, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(cache.BlockID{File: 1, Num: int32(i % 1024)}, 0, 8192)
+	}
+}
+
+// BenchmarkMissEvict measures the full replacement protocol under
+// GlobalLRU: candidate scan, eviction, insertion.
+func BenchmarkMissEvict(b *testing.B) {
+	c := cache.New(cache.Config{Capacity: 819, Alloc: cache.GlobalLRU}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cache.BlockID{File: fs.FileID(1 + i%3), Num: int32(i)}
+		c.Insert(id, cache.NoOwner, 0)
+	}
+}
+
+// acceptRepl is a minimal manager for benchmarking the two-level path.
+type acceptRepl struct{}
+
+func (acceptRepl) NewBlock(*cache.Buf)                       {}
+func (acceptRepl) BlockGone(*cache.Buf)                      {}
+func (acceptRepl) BlockAccessed(*cache.Buf, int, int)        {}
+func (acceptRepl) PlaceholderUsed(cache.BlockID, *cache.Buf) {}
+func (acceptRepl) Managed(int) bool                          { return true }
+func (acceptRepl) ReplaceBlock(c *cache.Buf, _ cache.BlockID) *cache.Buf {
+	return c
+}
+
+// BenchmarkMissEvictTwoLevel adds the replace_block consultation to every
+// eviction.
+func BenchmarkMissEvictTwoLevel(b *testing.B) {
+	c := cache.New(cache.Config{Capacity: 819, Alloc: cache.LRUSP}, acceptRepl{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cache.BlockID{File: 1, Num: int32(i)}
+		c.Insert(id, 1, 0)
+	}
+}

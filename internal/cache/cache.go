@@ -1,0 +1,657 @@
+// Package cache implements the BUF module of the paper: the buffer cache
+// proper, and the kernel's global *allocation* policy for two-level
+// replacement.
+//
+// In two-level replacement the kernel decides which process gives up a
+// block (allocation) while the process's manager decides which of its own
+// blocks to give up (replacement). On a miss the cache picks a candidate
+// victim according to its allocation policy and, when the candidate belongs
+// to a managed process, consults the application control module through the
+// Replacer interface — the replace_block upcall of the paper. The manager
+// may overrule the candidate with another block it owns; the LRU-SP policy
+// then swaps the two blocks' positions in the global list and builds a
+// placeholder recording the decision, so a later miss on the overruled
+// block both selects the kept block as the next candidate and reports the
+// manager's mistake (placeholder_used).
+//
+// Four allocation policies are provided, matching the paper's Section 6
+// comparisons:
+//
+//	GlobalLRU — the original kernel: plain global LRU, no application
+//	            control at all (managers are never consulted).
+//	LRUSP     — LRU with Swapping and Placeholders (the paper's policy).
+//	LRUS      — swapping but no placeholders ("unprotected" in Table 1).
+//	AllocLRU  — two-level replacement over a plain LRU list: managers are
+//	            consulted but no swapping, no placeholders (Figure 6).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// BlockID names one file-system block: a file and a block number within it.
+type BlockID struct {
+	File fs.FileID
+	Num  int32
+}
+
+func (id BlockID) String() string {
+	return fmt.Sprintf("f%d:%d", id.File, id.Num)
+}
+
+// NoOwner marks a buffer not owned by any process (or owned by a process
+// without a manager).
+const NoOwner = -1
+
+// Alloc selects the kernel's global allocation policy.
+type Alloc int
+
+// Allocation policies.
+const (
+	GlobalLRU Alloc = iota
+	LRUSP
+	LRUS
+	AllocLRU
+)
+
+func (a Alloc) String() string {
+	switch a {
+	case GlobalLRU:
+		return "global-lru"
+	case LRUSP:
+		return "lru-sp"
+	case LRUS:
+		return "lru-s"
+	case AllocLRU:
+		return "alloc-lru"
+	}
+	return fmt.Sprintf("alloc(%d)", int(a))
+}
+
+// swapping reports whether the policy swaps candidate/alternative list
+// positions when a manager overrules the kernel.
+func (a Alloc) swapping() bool { return a == LRUSP || a == LRUS }
+
+// placeholders reports whether the policy builds placeholders for
+// overruled decisions.
+func (a Alloc) placeholders() bool { return a == LRUSP }
+
+// twoLevel reports whether managers are consulted at all.
+func (a Alloc) twoLevel() bool { return a != GlobalLRU }
+
+// Buf is one cache buffer. The BUF module owns the global-list linkage and
+// placeholder back-pointers; the Aux field belongs to the application
+// control module for its per-block state.
+type Buf struct {
+	ID    BlockID
+	Owner int // manager id, or NoOwner
+
+	Dirty   bool
+	DirtyAt sim.Time // when the buffer became dirty (update-daemon aging)
+	ValidAt sim.Time // read I/O completes at this time; 0 if long valid
+
+	// Referenced distinguishes blocks a process has actually touched
+	// from read-ahead blocks still waiting for their first use. Demand
+	// loads set it immediately; prefetched blocks gain it on first
+	// Lookup. Replacement policies that key on use recency (MRU) treat
+	// unreferenced blocks as last-resort victims.
+	Referenced bool
+
+	// Aux is reserved for the Replacer (ACM per-block state).
+	Aux interface{}
+
+	gprev, gnext *Buf // global allocation list; nil when not linked
+	holders      []*placeholder
+}
+
+// Busy reports whether the buffer's fill I/O is still in flight at time
+// now.
+func (b *Buf) Busy(now sim.Time) bool { return b.ValidAt > now }
+
+// placeholder records an overruled replacement: the manager replaced block
+// forID while the kernel had suggested the buffer points. A later miss on
+// forID makes points the candidate and signals the mistake.
+type placeholder struct {
+	forID  BlockID
+	points *Buf
+}
+
+// Replacer is the application control module as seen from BUF — the five
+// procedure calls of Section 4.
+type Replacer interface {
+	// NewBlock informs the ACM that b was loaded into the cache.
+	NewBlock(b *Buf)
+	// BlockGone informs the ACM that b was removed from the cache.
+	BlockGone(b *Buf)
+	// BlockAccessed informs the ACM that b was accessed at the given
+	// byte range within the block.
+	BlockAccessed(b *Buf, off, size int)
+	// ReplaceBlock asks the ACM which block to replace on behalf of the
+	// candidate's manager. The returned buffer must belong to the same
+	// owner; returning nil or the candidate accepts the kernel's choice.
+	ReplaceBlock(candidate *Buf, missing BlockID) *Buf
+	// PlaceholderUsed informs the ACM that an earlier decision to
+	// replace block missing (keeping pointed) was erroneous.
+	PlaceholderUsed(missing BlockID, pointed *Buf)
+	// Managed reports whether the owner currently has a manager.
+	Managed(owner int) bool
+}
+
+// Victim describes an evicted buffer so the caller can write back dirty
+// data.
+type Victim struct {
+	ID    BlockID
+	Owner int
+	Dirty bool
+}
+
+// Stats aggregates cache-wide counters.
+type Stats struct {
+	Hits            int64
+	Misses          int64
+	Evictions       int64
+	UnrefEvictions  int64 // evictions of never-referenced (prefetched) blocks
+	Consults        int64 // replace_block consultations of managers
+	Overrules       int64 // manager picked a block other than the candidate
+	PlaceholderHits int64 // misses resolved through a placeholder
+	Vindicated      int64 // placeholders dropped because the kept block was used
+	Transfers       int64 // shared-block ownership transfers
+	Revocations     int64
+}
+
+// OwnerStats tracks one manager's decision quality for the revocation
+// extension (the paper's footnote 7).
+type OwnerStats struct {
+	Decisions int64 // overruling decisions made
+	Mistakes  int64 // of those, how many a placeholder later caught
+	Revoked   bool
+}
+
+// RevokeConfig controls the optional revocation of cache-control
+// privileges from consistently foolish managers.
+type RevokeConfig struct {
+	Enabled bool
+	// MinDecisions is the minimum number of overrules before the ratio
+	// is examined.
+	MinDecisions int64
+	// MistakeRatio revokes a manager whose mistakes/decisions exceeds
+	// this fraction.
+	MistakeRatio float64
+}
+
+// Config configures a Cache.
+type Config struct {
+	// Capacity is the number of buffers.
+	Capacity int
+	// Alloc is the global allocation policy.
+	Alloc Alloc
+	// Revoke optionally enables foolish-manager revocation.
+	Revoke RevokeConfig
+	// SharedTransfer makes ownership of a block follow its use: when a
+	// process other than the current owner hits a block, the block moves
+	// under the accessor's manager. This is the paper's Section 8 future
+	// work on concurrently shared files — whichever process is actively
+	// using a shared block gets to apply its policy to it. Off, a block
+	// stays with the process that faulted it in.
+	SharedTransfer bool
+}
+
+// Cache is the buffer cache. It is not safe for concurrent use; in the
+// simulation exactly one process runs at a time.
+type Cache struct {
+	cfg   Config
+	table map[BlockID]*Buf
+	// Global allocation list: head.gnext is the LRU end, tail.gprev the
+	// MRU end. head and tail are sentinels.
+	head, tail *Buf
+	count      int
+	ph         map[BlockID]*placeholder
+	repl       Replacer
+	stats      Stats
+	owners     map[int]*OwnerStats
+}
+
+// New builds a cache. The Replacer may be nil only for GlobalLRU.
+func New(cfg Config, repl Replacer) *Cache {
+	if cfg.Capacity <= 0 {
+		panic("cache: non-positive capacity")
+	}
+	if repl == nil && cfg.Alloc.twoLevel() {
+		panic("cache: two-level policy requires a Replacer")
+	}
+	c := &Cache{
+		cfg:    cfg,
+		table:  make(map[BlockID]*Buf, cfg.Capacity),
+		head:   &Buf{},
+		tail:   &Buf{},
+		ph:     make(map[BlockID]*placeholder),
+		repl:   repl,
+		owners: make(map[int]*OwnerStats),
+	}
+	c.head.gnext = c.tail
+	c.tail.gprev = c.head
+	return c
+}
+
+// Capacity returns the configured buffer count.
+func (c *Cache) Capacity() int { return c.cfg.Capacity }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return c.count }
+
+// Alloc returns the allocation policy in force.
+func (c *Cache) Alloc() Alloc { return c.cfg.Alloc }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Owner returns the decision-quality record for a manager id, creating it
+// on first use.
+func (c *Cache) Owner(id int) *OwnerStats {
+	os := c.owners[id]
+	if os == nil {
+		os = &OwnerStats{}
+		c.owners[id] = os
+	}
+	return os
+}
+
+// Revoked reports whether owner's control privileges have been revoked.
+func (c *Cache) Revoked(owner int) bool {
+	if os := c.owners[owner]; os != nil {
+		return os.Revoked
+	}
+	return false
+}
+
+// --- global list primitives ---
+
+func (c *Cache) unlink(b *Buf) {
+	b.gprev.gnext = b.gnext
+	b.gnext.gprev = b.gprev
+	b.gprev, b.gnext = nil, nil
+}
+
+// linkMRU inserts b at the most-recently-used end.
+func (c *Cache) linkMRU(b *Buf) {
+	b.gprev = c.tail.gprev
+	b.gnext = c.tail
+	b.gprev.gnext = b
+	c.tail.gprev = b
+}
+
+// swapPositions exchanges the list positions of a and b.
+func (c *Cache) swapPositions(a, b *Buf) {
+	if a == b {
+		return
+	}
+	ap, bn := a.gprev, b.gnext
+	if a.gnext == b { // adjacent: a before b
+		c.unlink(a)
+		a.gprev = b
+		a.gnext = bn
+		b.gnext = a
+		bn.gprev = a
+		return
+	}
+	if b.gnext == a { // adjacent: b before a
+		c.swapPositions(b, a)
+		return
+	}
+	an, bp := a.gnext, b.gprev
+	c.unlink(a)
+	c.unlink(b)
+	b.gprev, b.gnext = ap, an
+	ap.gnext, an.gprev = b, b
+	a.gprev, a.gnext = bp, bn
+	bp.gnext, bn.gprev = a, a
+}
+
+// lruScan returns the least-recently-used buffer that is not busy at time
+// now, or the plain LRU buffer if everything is busy.
+func (c *Cache) lruScan(now sim.Time) *Buf {
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		if !b.Busy(now) {
+			return b
+		}
+	}
+	return c.head.gnext
+}
+
+// GlobalOrder returns the block IDs in the global list from LRU to MRU.
+// Intended for tests and diagnostics.
+func (c *Cache) GlobalOrder() []BlockID {
+	ids := make([]BlockID, 0, c.count)
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		ids = append(ids, b.ID)
+	}
+	return ids
+}
+
+// Placeholders returns the number of live placeholders.
+func (c *Cache) Placeholders() int { return len(c.ph) }
+
+// --- main operations ---
+
+// Lookup finds a cached block on behalf of the current owner. On a hit
+// the block moves to the MRU end of the global list and the manager is
+// told of the access; nil means a miss. Use LookupBy to identify the
+// accessing process for shared-file ownership transfer.
+func (c *Cache) Lookup(id BlockID, off, size int) *Buf {
+	return c.LookupBy(id, NoOwner, off, size)
+}
+
+// LookupBy is Lookup with the accessing process identified: under
+// SharedTransfer, a hit by a process other than the block's owner moves
+// the block under the accessor's manager.
+func (c *Cache) LookupBy(id BlockID, accessor int, off, size int) *Buf {
+	b := c.table[id]
+	if b == nil {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	if c.cfg.SharedTransfer && accessor != NoOwner && accessor != b.Owner {
+		c.transferOwner(b, accessor)
+	}
+	b.Referenced = true
+	c.unlink(b)
+	c.linkMRU(b)
+	// A reference to a block some placeholder points at vindicates the
+	// manager's decision to keep it: the kept block proved useful before
+	// the replaced one was needed again, which is what LRU itself would
+	// have preferred. The placeholder is dropped and no mistake charged.
+	for len(b.holders) > 0 {
+		c.dropPlaceholder(b.holders[len(b.holders)-1])
+		c.stats.Vindicated++
+	}
+	if c.managed(b.Owner) {
+		c.repl.BlockAccessed(b, off, size)
+	}
+	return b
+}
+
+// transferOwner hands b from its current manager to the accessor's.
+func (c *Cache) transferOwner(b *Buf, accessor int) {
+	if c.managed(b.Owner) {
+		c.repl.BlockGone(b)
+	}
+	b.Owner = accessor
+	c.stats.Transfers++
+	if c.managed(accessor) {
+		c.repl.NewBlock(b)
+	}
+}
+
+// Peek finds a cached block without touching recency state or notifying
+// the manager.
+func (c *Cache) Peek(id BlockID) *Buf { return c.table[id] }
+
+// managed reports whether owner has an active, non-revoked manager under a
+// two-level policy.
+func (c *Cache) managed(owner int) bool {
+	if owner == NoOwner || !c.cfg.Alloc.twoLevel() {
+		return false
+	}
+	if os := c.owners[owner]; os != nil && os.Revoked {
+		return false
+	}
+	return c.repl.Managed(owner)
+}
+
+// Insert brings block id into the cache on behalf of owner, evicting if
+// full. It returns the new buffer and, if an eviction occurred, the victim
+// (so the caller can write back dirty data). Insert panics if the block is
+// already cached — callers must Lookup first.
+func (c *Cache) Insert(id BlockID, owner int, now sim.Time) (*Buf, *Victim) {
+	if c.table[id] != nil {
+		panic(fmt.Sprintf("cache: Insert of cached block %v", id))
+	}
+	var victim *Victim
+	if c.count >= c.cfg.Capacity {
+		victim = c.evictFor(id, now)
+	} else if ph := c.ph[id]; ph != nil {
+		// The overruled block came back while free buffers existed: the
+		// placeholder still proves the earlier decision wrong, but no
+		// candidate redirection is needed.
+		pointed := ph.points
+		c.dropPlaceholder(ph)
+		c.recordMistake(pointed.Owner)
+		if c.managed(pointed.Owner) {
+			c.repl.PlaceholderUsed(id, pointed)
+		}
+	}
+	b := &Buf{ID: id, Owner: owner}
+	c.table[id] = b
+	c.linkMRU(b)
+	c.count++
+	if c.managed(owner) {
+		c.repl.NewBlock(b)
+	}
+	return b, victim
+}
+
+// evictFor chooses and evicts a victim to make room for missing block id,
+// running the full two-level protocol.
+func (c *Cache) evictFor(missing BlockID, now sim.Time) *Victim {
+	// Step 1: pick the candidate. A placeholder for the missing block
+	// overrides the LRU choice and reports the manager's earlier
+	// mistake.
+	var candidate *Buf
+	if c.cfg.Alloc.placeholders() {
+		if ph := c.ph[missing]; ph != nil {
+			candidate = ph.points
+			c.dropPlaceholder(ph)
+			c.stats.PlaceholderHits++
+			c.recordMistake(candidate.Owner)
+			if c.managed(candidate.Owner) {
+				c.repl.PlaceholderUsed(missing, candidate)
+			}
+			if candidate.Busy(now) {
+				candidate = nil // cannot take a buffer mid-I/O
+			}
+		}
+	}
+	if candidate == nil {
+		candidate = c.lruScan(now)
+	}
+
+	// Step 2: consult the candidate's manager.
+	chosen := candidate
+	if c.managed(candidate.Owner) {
+		c.stats.Consults++
+		if alt := c.repl.ReplaceBlock(candidate, missing); alt != nil && alt != candidate {
+			c.validateAlternative(candidate, alt, now)
+			chosen = alt
+			c.stats.Overrules++
+			c.recordDecision(candidate.Owner)
+			// Step 3: swapping and placeholder construction.
+			if c.cfg.Alloc.swapping() {
+				c.swapPositions(candidate, chosen)
+			}
+			if c.cfg.Alloc.placeholders() {
+				c.setPlaceholder(chosen.ID, candidate)
+			}
+		}
+	}
+
+	return c.evict(chosen)
+}
+
+// validateAlternative enforces the kernel-side checks on a manager's
+// answer; a bad answer is a bug in the manager, so it panics.
+func (c *Cache) validateAlternative(candidate, alt *Buf, now sim.Time) {
+	if alt.Owner != candidate.Owner {
+		panic(fmt.Sprintf("cache: manager %d offered block %v owned by %d",
+			candidate.Owner, alt.ID, alt.Owner))
+	}
+	if c.table[alt.ID] != alt {
+		panic(fmt.Sprintf("cache: manager offered uncached block %v", alt.ID))
+	}
+	if alt.Busy(now) {
+		panic(fmt.Sprintf("cache: manager offered busy block %v", alt.ID))
+	}
+}
+
+// evict removes b from the cache and returns the victim record.
+func (c *Cache) evict(b *Buf) *Victim {
+	v := &Victim{ID: b.ID, Owner: b.Owner, Dirty: b.Dirty}
+	if !b.Referenced {
+		c.stats.UnrefEvictions++
+	}
+	c.remove(b)
+	c.stats.Evictions++
+	return v
+}
+
+// remove takes b out of all cache structures and notifies the manager.
+func (c *Cache) remove(b *Buf) {
+	delete(c.table, b.ID)
+	c.unlink(b)
+	c.count--
+	// Placeholders pointing at b die with it.
+	for _, ph := range b.holders {
+		delete(c.ph, ph.forID)
+	}
+	b.holders = nil
+	if c.managed(b.Owner) {
+		c.repl.BlockGone(b)
+	}
+}
+
+// setPlaceholder records "forID was replaced while points was kept". Any
+// previous placeholder for the same block is superseded.
+func (c *Cache) setPlaceholder(forID BlockID, points *Buf) {
+	if old := c.ph[forID]; old != nil {
+		c.dropPlaceholder(old)
+	}
+	ph := &placeholder{forID: forID, points: points}
+	c.ph[forID] = ph
+	points.holders = append(points.holders, ph)
+}
+
+// dropPlaceholder removes ph from the map and from its pointee's holder
+// list.
+func (c *Cache) dropPlaceholder(ph *placeholder) {
+	delete(c.ph, ph.forID)
+	hs := ph.points.holders
+	for i, h := range hs {
+		if h == ph {
+			hs[i] = hs[len(hs)-1]
+			ph.points.holders = hs[:len(hs)-1]
+			break
+		}
+	}
+}
+
+// recordDecision counts an overrule by owner.
+func (c *Cache) recordDecision(owner int) {
+	if owner == NoOwner {
+		return
+	}
+	c.Owner(owner).Decisions++
+}
+
+// recordMistake counts a placeholder-caught mistake and applies the
+// revocation policy.
+func (c *Cache) recordMistake(owner int) {
+	if owner == NoOwner {
+		return
+	}
+	os := c.Owner(owner)
+	os.Mistakes++
+	r := c.cfg.Revoke
+	if r.Enabled && !os.Revoked && os.Decisions >= r.MinDecisions &&
+		float64(os.Mistakes) > r.MistakeRatio*float64(os.Decisions) {
+		os.Revoked = true
+		c.stats.Revocations++
+	}
+}
+
+// MarkDirty flags b as modified at time now (first write wins for aging).
+func (c *Cache) MarkDirty(b *Buf, now sim.Time) {
+	if !b.Dirty {
+		b.Dirty = true
+		b.DirtyAt = now
+	}
+}
+
+// Clean clears the dirty flag after a write-back.
+func (c *Cache) Clean(b *Buf) {
+	b.Dirty = false
+	b.DirtyAt = 0
+}
+
+// DirtyOlderThan returns the dirty buffers whose first write happened at or
+// before cutoff, in global LRU order (oldest recency first).
+func (c *Cache) DirtyOlderThan(cutoff sim.Time) []*Buf {
+	var out []*Buf
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		if b.Dirty && b.DirtyAt <= cutoff {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// InvalidateFile drops every cached block of the file, discarding dirty
+// data (the file is gone, as when a temporary file is unlinked). It returns
+// the number of blocks dropped.
+func (c *Cache) InvalidateFile(id fs.FileID) int {
+	var doomed []*Buf
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		if b.ID.File == id {
+			doomed = append(doomed, b)
+		}
+	}
+	for _, b := range doomed {
+		c.remove(b)
+	}
+	// Placeholders keyed by the dead file's blocks are stale too.
+	for k, ph := range c.ph {
+		if k.File == id {
+			c.dropPlaceholder(ph)
+		}
+	}
+	return len(doomed)
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// mutation storms. It panics with a description on the first violation.
+func (c *Cache) CheckInvariants() {
+	n := 0
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		n++
+		if c.table[b.ID] != b {
+			panic(fmt.Sprintf("cache: listed block %v not in table", b.ID))
+		}
+		for _, ph := range b.holders {
+			if c.ph[ph.forID] != ph {
+				panic(fmt.Sprintf("cache: holder of %v not registered", b.ID))
+			}
+			if ph.points != b {
+				panic(fmt.Sprintf("cache: holder of %v points elsewhere", b.ID))
+			}
+		}
+	}
+	if n != c.count || n != len(c.table) {
+		panic(fmt.Sprintf("cache: count %d, list %d, table %d disagree", c.count, n, len(c.table)))
+	}
+	if n > c.cfg.Capacity {
+		panic(fmt.Sprintf("cache: %d blocks exceed capacity %d", n, c.cfg.Capacity))
+	}
+	for id, ph := range c.ph {
+		if id != ph.forID {
+			panic("cache: placeholder key mismatch")
+		}
+		if c.table[id] != nil {
+			panic(fmt.Sprintf("cache: placeholder exists for cached block %v", id))
+		}
+		if c.table[ph.points.ID] != ph.points {
+			panic(fmt.Sprintf("cache: placeholder for %v points to evicted block", id))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fs"
+)
+
+// FuzzCacheOps drives the cache with an opcode stream: each byte pair is
+// (op, arg). Invariants must hold at every step regardless of input.
+func FuzzCacheOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 1, 2, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{3, 5, 0, 9, 1, 9, 3, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &mockRepl{managed: map[int]bool{1: true}}
+		// The manager overrules with its most recent block when arg is
+		// odd, exercising swap/placeholder paths.
+		c := cache.New(cache.Config{Capacity: 8, Alloc: cache.LRUSP}, m)
+		var lastManaged *cache.Buf
+		m.pick = func(cand *cache.Buf, missing cache.BlockID) *cache.Buf {
+			if missing.Num%2 == 1 && lastManaged != nil && lastManaged != cand &&
+				c.Peek(lastManaged.ID) == lastManaged && !lastManaged.Busy(0) {
+				return lastManaged
+			}
+			return cand
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%4, int32(data[i+1]%24)
+			blk := cache.BlockID{File: fs.FileID(1 + arg%3), Num: arg}
+			switch op {
+			case 0: // read
+				if b := c.Lookup(blk, 0, 8192); b == nil {
+					b, _ := c.Insert(blk, 1, 0)
+					b.Referenced = true
+					lastManaged = b
+				}
+			case 1: // dirty
+				if b := c.Peek(blk); b != nil {
+					c.MarkDirty(b, 0)
+				}
+			case 2: // invalidate a file
+				c.InvalidateFile(fs.FileID(1 + arg%3))
+				if lastManaged != nil && c.Peek(lastManaged.ID) != lastManaged {
+					lastManaged = nil
+				}
+			case 3: // clean sweep
+				for _, b := range c.DirtyOlderThan(1 << 40) {
+					c.Clean(b)
+				}
+			}
+			if lastManaged != nil && c.Peek(lastManaged.ID) != lastManaged {
+				lastManaged = nil
+			}
+		}
+		c.CheckInvariants()
+		if c.Len() > c.Capacity() {
+			t.Fatal("capacity exceeded")
+		}
+	})
+}

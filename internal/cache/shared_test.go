@@ -1,0 +1,99 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestSharedTransferMovesOwnership(t *testing.T) {
+	m := &mockRepl{managed: map[int]bool{1: true, 2: true}}
+	c := cache.New(cache.Config{Capacity: 4, Alloc: cache.LRUSP, SharedTransfer: true}, m)
+	c.Insert(id(0), 1, 0)
+	b := c.Peek(id(0))
+	if b.Owner != 1 {
+		t.Fatalf("owner = %d", b.Owner)
+	}
+	// Process 2 hits the block: ownership follows use.
+	got := c.LookupBy(id(0), 2, 0, 8192)
+	if got == nil || got.Owner != 2 {
+		t.Fatalf("after shared hit owner = %v", got.Owner)
+	}
+	if st := c.Stats(); st.Transfers != 1 {
+		t.Errorf("Transfers = %d, want 1", st.Transfers)
+	}
+	// The managers saw the hand-off: gone for 1, new for 2.
+	var gone, fresh int
+	for _, e := range m.events {
+		switch e {
+		case "gone:f1:0":
+			gone++
+		case "new:f1:0":
+			fresh++
+		}
+	}
+	if gone != 1 || fresh != 2 { // initial insert + transfer re-link
+		t.Errorf("events = %v (gone %d, new %d)", m.events, gone, fresh)
+	}
+	c.CheckInvariants()
+}
+
+func TestSharedTransferOffKeepsOwner(t *testing.T) {
+	m := &mockRepl{managed: map[int]bool{1: true, 2: true}}
+	c := cache.New(cache.Config{Capacity: 4, Alloc: cache.LRUSP}, m)
+	c.Insert(id(0), 1, 0)
+	got := c.LookupBy(id(0), 2, 0, 8192)
+	if got.Owner != 1 {
+		t.Errorf("owner transferred with SharedTransfer off")
+	}
+	if c.Stats().Transfers != 0 {
+		t.Error("transfer counted with SharedTransfer off")
+	}
+}
+
+func TestSharedTransferSameOwnerNoop(t *testing.T) {
+	m := &mockRepl{managed: map[int]bool{1: true}}
+	c := cache.New(cache.Config{Capacity: 4, Alloc: cache.LRUSP, SharedTransfer: true}, m)
+	c.Insert(id(0), 1, 0)
+	c.LookupBy(id(0), 1, 0, 8192)
+	if c.Stats().Transfers != 0 {
+		t.Error("self-hit counted as a transfer")
+	}
+}
+
+func TestSharedTransferAnonymousAccessor(t *testing.T) {
+	// Lookup without an accessor (NoOwner) must never steal the block.
+	m := &mockRepl{managed: map[int]bool{1: true}}
+	c := cache.New(cache.Config{Capacity: 4, Alloc: cache.LRUSP, SharedTransfer: true}, m)
+	c.Insert(id(0), 1, 0)
+	c.Lookup(id(0), 0, 8192)
+	if got := c.Peek(id(0)); got.Owner != 1 {
+		t.Errorf("anonymous lookup transferred ownership to %d", got.Owner)
+	}
+}
+
+func TestSharedTransferToUnmanaged(t *testing.T) {
+	// Transfer to a process without a manager leaves the block
+	// unmanaged: the kernel replaces it directly afterwards.
+	m := &mockRepl{managed: map[int]bool{1: true}}
+	c := cache.New(cache.Config{Capacity: 2, Alloc: cache.LRUSP, SharedTransfer: true}, m)
+	c.Insert(id(0), 1, 0)
+	c.LookupBy(id(0), 7, 0, 8192) // unmanaged process 7
+	b := c.Peek(id(0))
+	if b.Owner != 7 {
+		t.Fatalf("owner = %d, want 7", b.Owner)
+	}
+	if b.Aux != nil {
+		t.Error("ACM state survived transfer to unmanaged owner")
+	}
+	// Replacement of this block must not consult anyone.
+	before := len(m.events)
+	c.Insert(id(1), 7, 0)
+	c.Insert(id(2), 7, 0) // evicts block 0 or 1 without ReplaceBlock
+	for _, e := range m.events[before:] {
+		if len(e) >= 4 && e[:4] == "repl" {
+			t.Errorf("unmanaged block consulted manager: %v", m.events[before:])
+		}
+	}
+	c.CheckInvariants()
+}

@@ -1,0 +1,753 @@
+// Package core assembles the full simulated system: the discrete-event
+// engine, the CPU, the disks and SCSI bus, the file system, the buffer
+// cache (BUF) and the application control module (ACM). It exposes the
+// kernel's system-call surface to simulated processes — reads, writes,
+// file management and the five fbehavior cache-control operations — and
+// collects the per-process statistics the paper reports (block I/Os and
+// elapsed time).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/acm"
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/meta"
+	"repro/internal/sim"
+)
+
+// ioPending marks a buffer whose fill I/O has not completed; the elevator
+// decides the real completion time, so until then the buffer is busy
+// forever as far as Busy() is concerned.
+const ioPending = sim.Time(math.MaxInt64)
+
+// BlockSize is the file-system block size (8 KB, as in Ultrix).
+const BlockSize = disk.BlockSize
+
+// Config describes one simulated machine.
+type Config struct {
+	// CacheBytes sizes the buffer cache; the paper's default is 6.4 MB
+	// (10% of the workstation's 64 MB).
+	CacheBytes int64
+	// Alloc is the kernel's global allocation policy.
+	Alloc cache.Alloc
+	// Disks lists the drive geometries; disk 0 holds files unless a
+	// workload says otherwise. Default: one RZ56 and one RZ26 on a
+	// shared SCSI bus, as in the paper.
+	Disks []disk.Geometry
+	// Seed drives all stochastic components (rotational latencies).
+	Seed uint64
+	// DiskSched selects the drivers' request scheduling (default: the
+	// C-LOOK elevator of BSD disksort; FIFO exists for ablations).
+	DiskSched disk.Sched
+
+	// CPU cost model. SyscallCPU is the fixed kernel entry/exit cost of
+	// a file operation; CopyCPU is the cost of copying one full block to
+	// user space (scaled by access size); MissCPU is the added kernel
+	// cost of handling a miss; FbehaviorCPU prices a cache-control call.
+	SyscallCPU   sim.Time
+	CopyCPU      sim.Time
+	MissCPU      sim.Time
+	FbehaviorCPU sim.Time
+	// CPUQuantum chunks CPU service for round-robin-like sharing: a
+	// process never waits for more than roughly one quantum of another
+	// process's computation. The small default (2 ms) approximates the
+	// Unix scheduler's priority boost for I/O-bound processes, which
+	// lets them preempt CPU-bound neighbours almost immediately.
+	CPUQuantum sim.Time
+
+	// ReadAhead enables sequential read-ahead. ReadAheadDepth is how
+	// many blocks ahead the kernel keeps in flight; 0 means 1, the
+	// single-block breada read-ahead of Ultrix 4.3. Deeper read-ahead
+	// (a modern clustered kernel) also keeps the disk queue primed so
+	// the elevator defers asynchronous writes to real pauses — the
+	// ablation bench quantifies the difference.
+	ReadAhead      bool
+	ReadAheadDepth int
+
+	// FileGapBlocks separates files on disk (inode/fragmentation gap),
+	// so crossing a file boundary costs a rotation instead of streaming.
+	FileGapBlocks int
+
+	// SyncInterval and DirtyAge configure the update daemon: every
+	// SyncInterval it writes back blocks dirty for at least DirtyAge.
+	// SyncInterval 0 disables the daemon.
+	SyncInterval sim.Time
+	DirtyAge     sim.Time
+	// SpreadSync smooths the update daemon in the style of Mogul's "A
+	// better update policy" (cited by the paper): instead of one burst
+	// every SyncInterval, the daemon wakes SyncSlices times per interval
+	// and flushes only the aged dirty blocks, spreading write-back load
+	// so bursts do not queue behind demand reads. SyncSlices 0 means 30.
+	SpreadSync bool
+	SyncSlices int
+
+	// SharedFiles makes cached-block ownership follow use, so whichever
+	// process is actively using a shared file's block applies its policy
+	// to it (the paper's Section 8 future work).
+	SharedFiles bool
+
+	// MetaCacheEntries sizes the separate in-core inode cache (the
+	// BSD/Ultrix ninode table). Metadata I/O is accounted apart from the
+	// paper's block-I/O metric, matching the paper's methodology. 0
+	// disables metadata modelling entirely (Open costs CPU only).
+	MetaCacheEntries int
+	// NameiCPU is the path-lookup cost of an Open.
+	NameiCPU sim.Time
+
+	// UpcallCPU models an upcall/RPC-based control implementation: this
+	// much CPU is charged for every replace_block consultation of a
+	// manager, standing in for the two context switches of a user-level
+	// handler. The paper's in-kernel primitive interface corresponds to
+	// 0 (the consultation is a procedure call); the related work it
+	// cites paid up to 10% of execution time for upcall-based control.
+	UpcallCPU sim.Time
+
+	// Revoke configures the foolish-manager revocation extension.
+	Revoke cache.RevokeConfig
+	// ACMLimits caps per-manager kernel resources.
+	ACMLimits acm.Limits
+
+	// Trace, when non-nil, receives every block access (reads and
+	// writes, not read-ahead) as it happens. Useful for dumping or
+	// characterizing reference streams.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one block access for Config.Trace.
+type TraceEvent struct {
+	Time  sim.Time
+	Proc  int
+	Name  string // process name
+	File  fs.FileID
+	Block int32
+	Off   int
+	Size  int
+	Write bool
+	Hit   bool
+}
+
+// DefaultConfig returns the paper's machine: 6.4 MB cache, LRU-SP, one
+// RZ56 and one RZ26, DEC 5000/240-class CPU costs, 30-second update
+// daemon, read-ahead on.
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes:       MB(6.4), // 819 blocks, as the paper states
+		Alloc:            cache.LRUSP,
+		Disks:            []disk.Geometry{disk.RZ56, disk.RZ26},
+		Seed:             1,
+		SyscallCPU:       150 * sim.Microsecond,
+		CopyCPU:          300 * sim.Microsecond,
+		MissCPU:          1 * sim.Millisecond,
+		FbehaviorCPU:     60 * sim.Microsecond,
+		ReadAhead:        true,
+		FileGapBlocks:    2,
+		MetaCacheEntries: 300, // the ninode default of the era
+		NameiCPU:         500 * sim.Microsecond,
+		SyncInterval:     30 * sim.Second,
+		DirtyAge:         30 * sim.Second,
+	}
+}
+
+// MB converts binary megabytes to bytes (the paper's 6.4 MB cache is 819
+// 8 KB blocks, which is 6.4 * 2^20 / 8192).
+func MB(mb float64) int64 { return int64(mb * (1 << 20)) }
+
+// CacheBlocks returns the cache capacity in blocks.
+func (c Config) CacheBlocks() int {
+	n := int(c.CacheBytes / BlockSize)
+	if n <= 0 {
+		n = 1
+	}
+	return n
+}
+
+// System is one simulated machine.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	cpu   *sim.Resource
+	bus   *disk.Bus
+	disks []*disk.Disk
+	fsys  *fs.FileSystem
+	bc    *cache.Cache
+	ctl   *acm.ACM
+	inode *meta.Cache // nil when metadata modelling is off
+	procs []*Proc
+
+	// pendingIO maps buffers being filled to the condition their
+	// waiters sleep on.
+	pendingIO map[*cache.Buf]*sim.Cond
+}
+
+// NewSystem builds a machine from the config.
+func NewSystem(cfg Config) *System {
+	if len(cfg.Disks) == 0 {
+		cfg.Disks = []disk.Geometry{disk.RZ56, disk.RZ26}
+	}
+	s := &System{cfg: cfg, pendingIO: make(map[*cache.Buf]*sim.Cond)}
+	s.eng = sim.New()
+	s.cpu = s.eng.NewResource("cpu")
+	s.bus = disk.NewBus(s.eng)
+	var caps []int
+	for i, g := range cfg.Disks {
+		d := disk.New(s.eng, g, s.bus, cfg.Seed+uint64(i)*7919)
+		d.SetScheduler(cfg.DiskSched)
+		s.disks = append(s.disks, d)
+		caps = append(caps, g.Blocks())
+	}
+	s.fsys = fs.New(fs.Config{DiskBlocks: caps, FileGapBlocks: cfg.FileGapBlocks})
+	s.ctl = acm.New(s.eng.Now, cfg.ACMLimits)
+	s.bc = cache.New(cache.Config{
+		Capacity:       cfg.CacheBlocks(),
+		Alloc:          cfg.Alloc,
+		Revoke:         cfg.Revoke,
+		SharedTransfer: cfg.SharedFiles,
+	}, s.ctl)
+	if cfg.MetaCacheEntries > 0 {
+		s.inode = meta.New(cfg.MetaCacheEntries)
+	}
+	if cfg.SyncInterval > 0 {
+		s.eng.SpawnDaemon("update", s.updateDaemon)
+	}
+	return s
+}
+
+// InodeCache exposes the metadata cache (nil when disabled).
+func (s *System) InodeCache() *meta.Cache { return s.inode }
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// FS exposes the file system (for test setup).
+func (s *System) FS() *fs.FileSystem { return s.fsys }
+
+// Cache exposes the buffer cache.
+func (s *System) Cache() *cache.Cache { return s.bc }
+
+// ACM exposes the application control module.
+func (s *System) ACM() *acm.ACM { return s.ctl }
+
+// Disk returns drive i.
+func (s *System) Disk(i int) *disk.Disk { return s.disks[i] }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// CreateFile pre-populates a file before the run (no simulated I/O), as
+// when a benchmark's input data already exists on disk.
+func (s *System) CreateFile(name string, diskIdx, sizeBlocks int) *fs.File {
+	f, err := s.fsys.Create(name, diskIdx, sizeBlocks)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// updateDaemon is the Ultrix update(8) analogue: it periodically writes
+// back aged dirty blocks. With SpreadSync it wakes many times per interval
+// and flushes only what has aged, trading Ultrix's write bursts for a
+// steady trickle (Mogul's better update policy).
+func (s *System) updateDaemon(dp *sim.Proc) {
+	interval := s.cfg.SyncInterval
+	if s.cfg.SpreadSync {
+		slices := s.cfg.SyncSlices
+		if slices <= 0 {
+			slices = 30
+		}
+		interval = s.cfg.SyncInterval / sim.Time(slices)
+		if interval < sim.Millisecond {
+			interval = sim.Millisecond
+		}
+	}
+	for {
+		dp.Sleep(interval)
+		cutoff := dp.Now() - s.cfg.DirtyAge
+		for _, b := range s.bc.DirtyOlderThan(cutoff) {
+			s.writeBack(b)
+		}
+	}
+}
+
+// writeBack issues the asynchronous disk write for a dirty block and
+// attributes the I/O to the block's owner.
+func (s *System) writeBack(b *cache.Buf) {
+	f, ok := s.fsys.ByID(b.ID.File)
+	if !ok {
+		// File removed; its cache blocks should have been invalidated.
+		s.bc.Clean(b)
+		return
+	}
+	d := s.disks[f.Disk()]
+	d.Start(disk.Write, f.BlockAddr(int(b.ID.Num)), nil)
+	s.bc.Clean(b)
+	s.charge(b.Owner, func(st *ProcStats) { st.WriteBacks++ })
+}
+
+// flushVictim writes back an evicted dirty block (asynchronously; the
+// demand read that triggered the eviction queues behind it when they share
+// a disk, which is the latency a real kernel would see).
+func (s *System) flushVictim(v *cache.Victim) {
+	if v == nil || !v.Dirty {
+		return
+	}
+	f, ok := s.fsys.ByID(v.ID.File)
+	if !ok {
+		return
+	}
+	d := s.disks[f.Disk()]
+	d.Start(disk.Write, f.BlockAddr(int(v.ID.Num)), nil)
+	s.charge(v.Owner, func(st *ProcStats) { st.WriteBacks++ })
+}
+
+// startFill issues the disk read that fills buf with block blk of f and
+// returns the condition completion will broadcast. The buffer stays busy
+// until the elevator finishes the read.
+func (s *System) startFill(f *fs.File, buf *cache.Buf, blk int32) *sim.Cond {
+	buf.ValidAt = ioPending
+	cond := s.eng.NewCond()
+	s.pendingIO[buf] = cond
+	d := s.disks[f.Disk()]
+	d.Start(disk.Read, f.BlockAddr(int(blk)), func(t sim.Time) {
+		buf.ValidAt = t
+		delete(s.pendingIO, buf)
+		cond.Broadcast()
+	})
+	return cond
+}
+
+// insertBlock runs the replacement protocol for block id on p's behalf:
+// eviction (with write-back of a dirty victim) plus the simulated cost of
+// any manager consultation under an upcall-based implementation.
+func (s *System) insertBlock(p *Proc, id cache.BlockID) *cache.Buf {
+	before := s.bc.Stats().Consults
+	buf, victim := s.bc.Insert(id, p.id, p.sp.Now())
+	s.flushVictim(victim)
+	if s.cfg.UpcallCPU > 0 {
+		if consults := s.bc.Stats().Consults - before; consults > 0 {
+			s.useCPU(p.sp, sim.Time(consults)*s.cfg.UpcallCPU)
+		}
+	}
+	return buf
+}
+
+// waitValid parks p until b's fill I/O has completed.
+func (s *System) waitValid(p *Proc, b *cache.Buf) {
+	for b.Busy(p.sp.Now()) {
+		cond := s.pendingIO[b]
+		if cond == nil {
+			p.sp.SleepUntil(b.ValidAt)
+			return
+		}
+		cond.Wait(p.sp)
+	}
+}
+
+// charge applies a stat mutation to a process by owner id, ignoring
+// unknown owners.
+func (s *System) charge(owner int, f func(*ProcStats)) {
+	if owner >= 0 && owner < len(s.procs) {
+		f(&s.procs[owner].stats)
+	}
+}
+
+// Run executes the simulation to completion, then accounts a final sync of
+// whatever dirty blocks remain (as the measured runs would flush at exit).
+func (s *System) Run() {
+	s.eng.Run()
+	for _, b := range s.bc.DirtyOlderThan(s.eng.Now()) {
+		if _, ok := s.fsys.ByID(b.ID.File); !ok {
+			s.bc.Clean(b)
+			continue
+		}
+		s.bc.Clean(b)
+		s.charge(b.Owner, func(st *ProcStats) { st.WriteBacks++ })
+	}
+}
+
+// ProcStats are the per-process counters the experiments report.
+type ProcStats struct {
+	ReadCalls  int64
+	WriteCalls int64
+	Hits       int64
+	Misses     int64
+
+	DemandReads int64 // disk reads to satisfy this process's misses
+	Prefetches  int64 // disk reads issued by read-ahead for this process
+	WriteBacks  int64 // disk writes of blocks this process dirtied
+
+	// Metadata traffic, accounted apart from BlockIOs as in the paper.
+	Opens         int64
+	MetadataReads int64
+
+	FbehaviorCalls int64
+	ComputeTime    sim.Time
+}
+
+// BlockIOs is the paper's metric: every disk I/O attributable to the
+// process.
+func (st ProcStats) BlockIOs() int64 {
+	return st.DemandReads + st.Prefetches + st.WriteBacks
+}
+
+// Proc is one simulated application process.
+type Proc struct {
+	sys      *System
+	sp       *sim.Proc
+	id       int
+	name     string
+	mgr      *acm.Manager
+	lastRead map[fs.FileID]int32
+	stats    ProcStats
+}
+
+// Spawn registers a process whose body starts at time zero (or at the
+// current virtual time when spawned mid-run).
+func (s *System) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		sys:      s,
+		id:       len(s.procs),
+		name:     name,
+		lastRead: make(map[fs.FileID]int32),
+	}
+	s.procs = append(s.procs, p)
+	p.sp = s.eng.Spawn(name, func(*sim.Proc) { body(p) })
+	return p
+}
+
+// Procs returns all spawned processes in spawn order.
+func (s *System) Procs() []*Proc { return s.procs }
+
+// ID returns the process id (also its cache owner id).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Stats returns a snapshot of the process counters.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Elapsed returns the process's virtual running time (valid after Run).
+func (p *Proc) Elapsed() sim.Time { return p.sp.Elapsed() }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// trace reports one access to the configured trace hook.
+func (p *Proc) trace(f *fs.File, blk int32, off, size int, write, hit bool) {
+	if t := p.sys.cfg.Trace; t != nil {
+		t(TraceEvent{
+			Time: p.sp.Now(), Proc: p.id, Name: p.name,
+			File: f.ID(), Block: blk, Off: off, Size: size,
+			Write: write, Hit: hit,
+		})
+	}
+}
+
+// Compute charges d of application CPU time (contending with other
+// processes for the single CPU).
+func (p *Proc) Compute(d sim.Time) {
+	p.stats.ComputeTime += d
+	p.sys.useCPU(p.sp, d)
+}
+
+// useCPU charges CPU time in quantum-sized chunks so that concurrent
+// processes share the processor round-robin style instead of FCFS on
+// whole compute bursts.
+func (s *System) useCPU(sp *sim.Proc, d sim.Time) {
+	q := s.cfg.CPUQuantum
+	if q <= 0 {
+		q = 2 * sim.Millisecond
+	}
+	for d > q {
+		s.cpu.Use(sp, q)
+		d -= q
+	}
+	if d > 0 {
+		s.cpu.Use(sp, d)
+	}
+}
+
+// --- file management ---
+
+// CreateFile creates a file on disk d, initially empty unless sizeBlocks
+// is positive. The fresh inode is in core by construction.
+func (p *Proc) CreateFile(name string, d, sizeBlocks int) *fs.File {
+	f, err := p.sys.fsys.Create(name, d, sizeBlocks)
+	if err != nil {
+		panic(err)
+	}
+	if p.sys.inode != nil {
+		p.sys.inode.Prime(f.ID())
+	}
+	p.sys.useCPU(p.sp, p.sys.cfg.SyscallCPU)
+	return f
+}
+
+// Open models opening a file: the namei path lookup plus an inode fetch.
+// An in-core inode is free; a miss reads the inode block from disk (the
+// gap ahead of the file's first data block, where FFS keeps it). Metadata
+// reads are counted apart from the paper's block-I/O metric, matching its
+// methodology.
+func (p *Proc) Open(f *fs.File) {
+	p.stats.Opens++
+	p.sys.useCPU(p.sp, p.sys.cfg.NameiCPU)
+	if p.sys.inode == nil || p.sys.inode.Lookup(f.ID()) {
+		return
+	}
+	p.stats.MetadataReads++
+	if f.Size() == 0 {
+		return
+	}
+	addr := f.BlockAddr(0)
+	if p.sys.cfg.FileGapBlocks > 0 && addr > 0 {
+		addr-- // the inode lives in the gap ahead of the file
+	}
+	d := p.sys.disks[f.Disk()]
+	d.Access(p.sp, disk.Read, addr)
+}
+
+// RemoveFile unlinks a file; its cached blocks (dirty or not) are
+// discarded without I/O, as for an unlinked temporary file.
+func (p *Proc) RemoveFile(f *fs.File) {
+	if p.sys.inode != nil {
+		p.sys.inode.Invalidate(f.ID())
+	}
+	p.sys.bc.InvalidateFile(f.ID())
+	if err := p.sys.fsys.Remove(f.Name()); err != nil {
+		panic(err)
+	}
+	delete(p.lastRead, f.ID())
+	p.sys.useCPU(p.sp, p.sys.cfg.SyscallCPU)
+}
+
+// --- the read/write syscall surface ---
+
+// Access reads size bytes at offset off within block blk of f: the
+// fundamental cache operation. Partial accesses cost proportionally less
+// copy time; lots of small accesses to one block hit the cache after the
+// first touch.
+func (p *Proc) Access(f *fs.File, blk int32, off, size int) {
+	if int(blk) >= f.Size() {
+		panic(fmt.Sprintf("core: %s reads block %d beyond %q (size %d)", p.name, blk, f.Name(), f.Size()))
+	}
+	cfg := &p.sys.cfg
+	p.stats.ReadCalls++
+	id := cache.BlockID{File: f.ID(), Num: blk}
+	cpuCost := cfg.SyscallCPU + sim.Time(int64(cfg.CopyCPU)*int64(size)/BlockSize)
+	if b := p.sys.bc.LookupBy(id, p.id, off, size); b != nil {
+		p.stats.Hits++
+		p.trace(f, blk, off, size, false, true)
+		p.sys.waitValid(p, b) // a read-ahead may still be in flight
+		p.sys.useCPU(p.sp, cpuCost)
+		p.noteSequential(f, blk)
+		return
+	}
+	p.stats.Misses++
+	p.trace(f, blk, off, size, false, false)
+	buf := p.sys.insertBlock(p, id)
+	buf.Referenced = true
+	p.sys.startFill(f, buf, blk)
+	p.stats.DemandReads++
+	p.sys.useCPU(p.sp, cpuCost+cfg.MissCPU)
+	p.noteSequential(f, blk)
+	p.sys.waitValid(p, buf)
+}
+
+// Read reads one whole block.
+func (p *Proc) Read(f *fs.File, blk int32) { p.Access(f, blk, 0, BlockSize) }
+
+// ReadSeq reads blocks [from, to) in order.
+func (p *Proc) ReadSeq(f *fs.File, from, to int32) {
+	for b := from; b < to; b++ {
+		p.Read(f, b)
+	}
+}
+
+// noteSequential updates the per-file sequential detector and issues
+// read-ahead once two consecutive blocks have been read, keeping up to
+// ReadAheadDepth blocks in flight.
+func (p *Proc) noteSequential(f *fs.File, blk int32) {
+	last, seen := p.lastRead[f.ID()]
+	p.lastRead[f.ID()] = blk
+	if !p.sys.cfg.ReadAhead || !seen || blk != last+1 {
+		return
+	}
+	depth := p.sys.cfg.ReadAheadDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	for i := int32(1); i <= int32(depth); i++ {
+		next := blk + i
+		if int(next) >= f.Size() {
+			return
+		}
+		id := cache.BlockID{File: f.ID(), Num: next}
+		if p.sys.bc.Peek(id) != nil {
+			continue
+		}
+		buf := p.sys.insertBlock(p, id)
+		p.sys.startFill(f, buf, next)
+		p.stats.Prefetches++
+		// Issuing the read-ahead costs the same kernel work as any miss.
+		p.sys.useCPU(p.sp, p.sys.cfg.MissCPU)
+	}
+}
+
+// WriteAccess writes size bytes at offset off within block blk of f,
+// growing the file as needed. A partial write to an uncached block is a
+// read-modify-write: the block must come in from disk before the bytes
+// land. Whole-block writes (Write) skip the read.
+func (p *Proc) WriteAccess(f *fs.File, blk int32, off, size int) {
+	if off == 0 && size >= BlockSize {
+		p.Write(f, blk)
+		return
+	}
+	cfg := &p.sys.cfg
+	p.stats.WriteCalls++
+	grew := false
+	if int(blk) >= f.Size() {
+		if err := p.sys.fsys.Grow(f, int(blk)+1); err != nil {
+			panic(err)
+		}
+		grew = true
+	}
+	id := cache.BlockID{File: f.ID(), Num: blk}
+	b := p.sys.bc.LookupBy(id, p.id, off, size)
+	if b != nil {
+		p.stats.Hits++
+		p.trace(f, blk, off, size, true, true)
+		p.sys.waitValid(p, b)
+	} else {
+		p.stats.Misses++
+		p.trace(f, blk, off, size, true, false)
+		b = p.sys.insertBlock(p, id)
+		b.Referenced = true
+		if !grew {
+			// Read-modify-write: fetch the rest of the block first.
+			p.sys.startFill(f, b, blk)
+			p.stats.DemandReads++
+		}
+	}
+	cpuCost := cfg.SyscallCPU + sim.Time(int64(cfg.CopyCPU)*int64(size)/BlockSize)
+	p.sys.useCPU(p.sp, cpuCost+cfg.MissCPU)
+	p.sys.waitValid(p, b)
+	p.sys.bc.MarkDirty(b, p.sp.Now())
+}
+
+// Write writes one whole block of f, growing the file as needed. Whole-
+// block writes allocate a buffer without reading (write-behind: the disk
+// write happens at eviction or via the update daemon).
+func (p *Proc) Write(f *fs.File, blk int32) {
+	cfg := &p.sys.cfg
+	p.stats.WriteCalls++
+	if int(blk) >= f.Size() {
+		if err := p.sys.fsys.Grow(f, int(blk)+1); err != nil {
+			panic(err)
+		}
+	}
+	id := cache.BlockID{File: f.ID(), Num: blk}
+	b := p.sys.bc.LookupBy(id, p.id, 0, BlockSize)
+	if b != nil {
+		p.stats.Hits++
+		p.trace(f, blk, 0, BlockSize, true, true)
+		p.sys.waitValid(p, b)
+	} else {
+		p.stats.Misses++
+		p.trace(f, blk, 0, BlockSize, true, false)
+		b = p.sys.insertBlock(p, id)
+		b.Referenced = true
+	}
+	p.sys.bc.MarkDirty(b, p.sp.Now())
+	p.sys.useCPU(p.sp, cfg.SyscallCPU+cfg.CopyCPU)
+}
+
+// WriteSeq writes blocks [from, to) in order.
+func (p *Proc) WriteSeq(f *fs.File, from, to int32) {
+	for b := from; b < to; b++ {
+		p.Write(f, b)
+	}
+}
+
+// --- the fbehavior cache-control surface ---
+
+// EnableControl registers this process as a cache manager.
+func (p *Proc) EnableControl() error {
+	if p.mgr != nil {
+		return fmt.Errorf("core: %s already controls its cache", p.name)
+	}
+	m, err := p.sys.ctl.CreateManager(p.id)
+	if err != nil {
+		return err
+	}
+	p.mgr = m
+	p.fbCharge()
+	return nil
+}
+
+// DisableControl withdraws cache control.
+func (p *Proc) DisableControl() {
+	if p.mgr == nil {
+		return
+	}
+	p.sys.ctl.DestroyManager(p.id)
+	p.mgr = nil
+	p.fbCharge()
+}
+
+// Controlled reports whether the process manages its own cache.
+func (p *Proc) Controlled() bool { return p.mgr != nil }
+
+// Manager exposes the ACM manager (nil when not controlling).
+func (p *Proc) Manager() *acm.Manager { return p.mgr }
+
+func (p *Proc) fbCharge() {
+	p.stats.FbehaviorCalls++
+	p.sys.useCPU(p.sp, p.sys.cfg.FbehaviorCPU)
+}
+
+func (p *Proc) requireMgr(call string) *acm.Manager {
+	if p.mgr == nil {
+		panic(fmt.Sprintf("core: %s called %s without EnableControl", p.name, call))
+	}
+	return p.mgr
+}
+
+// SetPriority sets the long-term cache priority of a file.
+func (p *Proc) SetPriority(f *fs.File, prio int) error {
+	m := p.requireMgr("set_priority")
+	p.fbCharge()
+	return m.SetPriority(f.ID(), prio)
+}
+
+// GetPriority reads the long-term cache priority of a file.
+func (p *Proc) GetPriority(f *fs.File) int {
+	m := p.requireMgr("get_priority")
+	p.fbCharge()
+	return m.Priority(f.ID())
+}
+
+// SetPolicy sets the replacement policy of a priority level.
+func (p *Proc) SetPolicy(prio int, pol acm.Policy) error {
+	m := p.requireMgr("set_policy")
+	p.fbCharge()
+	return m.SetPolicy(prio, pol)
+}
+
+// GetPolicy reads the replacement policy of a priority level.
+func (p *Proc) GetPolicy(prio int) acm.Policy {
+	m := p.requireMgr("get_policy")
+	p.fbCharge()
+	return m.PolicyOf(prio)
+}
+
+// SetTempPri assigns a temporary priority to the cached blocks of f in
+// [startBlk, endBlk].
+func (p *Proc) SetTempPri(f *fs.File, startBlk, endBlk int32, prio int) error {
+	m := p.requireMgr("set_temppri")
+	p.fbCharge()
+	return m.SetTempPri(f.ID(), startBlk, endBlk, prio)
+}

@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// script is a deterministic random mini-workload for stress runs.
+type script struct {
+	seed  uint64
+	procs int
+}
+
+// runScript executes the script on a fresh machine and returns the system
+// plus per-proc processes.
+func runScript(t *testing.T, sc script, alloc cache.Alloc, managed bool) (*core.System, []*core.Proc) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = 64 * core.BlockSize
+	cfg.Alloc = alloc
+	sys := core.NewSystem(cfg)
+	var shared []*fs.File
+	for i := 0; i < 3; i++ {
+		shared = append(shared, sys.CreateFile(fmt.Sprintf("shared%d", i), i%2, 40))
+	}
+	var procs []*core.Proc
+	for pi := 0; pi < sc.procs; pi++ {
+		pi := pi
+		procs = append(procs, sys.Spawn(fmt.Sprintf("p%d", pi), func(p *core.Proc) {
+			rng := sim.NewRand(sc.seed*1000 + uint64(pi))
+			if managed && rng.Intn(2) == 0 {
+				if err := p.EnableControl(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			var tmp *fs.File
+			tmpBlocks := int32(0)
+			for op := 0; op < 400; op++ {
+				f := shared[rng.Intn(len(shared))]
+				switch rng.Intn(12) {
+				case 0: // sequential run
+					start := int32(rng.Intn(f.Size()))
+					n := int32(1 + rng.Intn(8))
+					if int(start+n) > f.Size() {
+						n = int32(f.Size()) - start
+					}
+					p.ReadSeq(f, start, start+n)
+				case 1: // write to a temp file
+					if tmp == nil {
+						tmp = p.CreateFile(fmt.Sprintf("tmp%d-%d", pi, op), rng.Intn(2), 0)
+						tmpBlocks = 0
+					}
+					p.Write(tmp, tmpBlocks)
+					tmpBlocks++
+				case 2: // read back from the temp file
+					if tmp != nil && tmpBlocks > 0 {
+						p.Read(tmp, int32(rng.Intn(int(tmpBlocks))))
+					}
+				case 3: // remove the temp file
+					if tmp != nil {
+						p.RemoveFile(tmp)
+						tmp = nil
+					}
+				case 4: // fbehavior traffic
+					if p.Controlled() {
+						switch rng.Intn(3) {
+						case 0:
+							p.SetPriority(f, rng.Intn(3)-1)
+						case 1:
+							p.SetPolicy(rng.Intn(3)-1, 1) // MRU
+						case 2:
+							lo := int32(rng.Intn(f.Size()))
+							p.SetTempPri(f, lo, lo+int32(rng.Intn(4)), -1)
+						}
+					}
+				case 5:
+					p.Compute(sim.Time(rng.Intn(5000)))
+				case 6:
+					p.Open(f)
+				default: // random single-block read
+					p.Read(f, int32(rng.Intn(f.Size())))
+				}
+			}
+		}))
+	}
+	sys.Run()
+	return sys, procs
+}
+
+// TestStressInvariants runs random managed workload mixes under every
+// kernel and checks structural and accounting invariants.
+func TestStressInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		for _, alloc := range []cache.Alloc{cache.GlobalLRU, cache.LRUSP, cache.LRUS, cache.AllocLRU} {
+			managed := alloc != cache.GlobalLRU
+			sys, procs := runScript(t, script{seed: seed, procs: 3}, alloc, managed)
+			sys.Cache().CheckInvariants()
+			sys.ACM().CheckInvariants()
+			var demand, prefetch, metaReads, writeBacks int64
+			for _, p := range procs {
+				st := p.Stats()
+				if st.Hits+st.Misses != st.ReadCalls+st.WriteCalls {
+					t.Errorf("seed %d %v: hits %d + misses %d != calls %d",
+						seed, alloc, st.Hits, st.Misses, st.ReadCalls+st.WriteCalls)
+					return false
+				}
+				demand += st.DemandReads
+				prefetch += st.Prefetches
+				metaReads += st.MetadataReads
+				writeBacks += st.WriteBacks
+			}
+			var diskReads, diskWrites int64
+			for i := 0; i < 2; i++ {
+				ds := sys.Disk(i).Stats()
+				diskReads += ds.Reads
+				diskWrites += ds.Writes
+			}
+			// Demand and metadata reads always complete (the process
+			// waits on them); read-ahead issued just before the end of
+			// the run can be abandoned in the disk queue, so the disk
+			// may have served slightly fewer reads than were issued.
+			accounted := demand + prefetch + metaReads
+			if diskReads > accounted || accounted-diskReads > 16 {
+				t.Errorf("seed %d %v: disk reads %d vs issued %d (demand %d + prefetch %d + meta %d)",
+					seed, alloc, diskReads, accounted, demand, prefetch, metaReads)
+				return false
+			}
+			// Write-backs counted at issue; the final sync counts
+			// write-backs that never reach a disk, so disk writes can
+			// only be lower.
+			if diskWrites > writeBacks {
+				t.Errorf("seed %d %v: disk writes %d > write-backs %d",
+					seed, alloc, diskWrites, writeBacks)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStressObliviousCriterion: with every process oblivious, all four
+// kernels produce identical per-process I/O counts — the paper's first
+// allocation criterion, end to end, on random workloads.
+func TestStressObliviousCriterion(t *testing.T) {
+	f := func(seed uint64) bool {
+		var base []int64
+		for ai, alloc := range []cache.Alloc{cache.GlobalLRU, cache.LRUSP, cache.LRUS, cache.AllocLRU} {
+			_, procs := runScript(t, script{seed: seed, procs: 3}, alloc, false)
+			var ios []int64
+			for _, p := range procs {
+				ios = append(ios, p.Stats().BlockIOs())
+			}
+			if ai == 0 {
+				base = ios
+				continue
+			}
+			for i := range ios {
+				if ios[i] != base[i] {
+					t.Errorf("seed %d: oblivious proc %d: %d I/Os under %v vs %d under global-lru",
+						seed, i, ios[i], alloc, base[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStressDeterminism: the same script twice gives bit-identical stats.
+func TestStressDeterminism(t *testing.T) {
+	collect := func() []core.ProcStats {
+		_, procs := runScript(t, script{seed: 42, procs: 3}, cache.LRUSP, true)
+		var out []core.ProcStats
+		for _, p := range procs {
+			out = append(out, p.Stats())
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("proc %d stats differ: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStressSharedTransfer runs the random scripts with ownership
+// following use and checks nothing breaks structurally.
+func TestStressSharedTransfer(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = 48 * core.BlockSize
+	cfg.SharedFiles = true
+	sys := core.NewSystem(cfg)
+	f := sys.CreateFile("shared", 0, 60)
+	for pi := 0; pi < 3; pi++ {
+		pi := pi
+		sys.Spawn(fmt.Sprintf("p%d", pi), func(p *core.Proc) {
+			rng := sim.NewRand(uint64(100 + pi))
+			if pi != 0 {
+				p.EnableControl()
+				p.SetPolicy(0, 1) // MRU
+			}
+			for i := 0; i < 600; i++ {
+				p.Read(f, int32(rng.Intn(60)))
+			}
+		})
+	}
+	sys.Run()
+	sys.Cache().CheckInvariants()
+	sys.ACM().CheckInvariants()
+	if sys.Cache().Stats().Transfers == 0 {
+		t.Error("no ownership transfers on a contended shared file")
+	}
+}

@@ -1,0 +1,108 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one figure-style series as horizontal ASCII bars: each row
+// is a labelled normalized value with a reference line at 1.0, which is
+// how the paper's Figures 4-6 present their results.
+type Chart struct {
+	ID    string
+	Title string
+	Rows  []ChartRow
+}
+
+// ChartRow is one bar.
+type ChartRow struct {
+	Label string
+	Value float64
+}
+
+// chartWidth is the bar width in characters for value 1.0.
+const chartWidth = 40
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- %s: %s --\n", c.ID, c.Title)
+	labelW := 0
+	maxV := 1.0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		if r.Value > maxV {
+			maxV = r.Value
+		}
+	}
+	scale := float64(chartWidth)
+	if maxV > 1.0 {
+		scale = float64(chartWidth) / maxV
+	}
+	oneAt := int(1.0*scale + 0.5)
+	for _, r := range c.Rows {
+		n := int(r.Value*scale + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		var b strings.Builder
+		for i := 0; i < chartWidth+1; i++ {
+			switch {
+			case i == oneAt:
+				b.WriteByte('|') // the 1.0 baseline
+			case i < n:
+				b.WriteByte('#')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(w, "%-*s %s %.2f\n", labelW, r.Label, b.String(), r.Value)
+	}
+	fmt.Fprintln(w)
+}
+
+// ChartFromTable builds a chart from a rendered table: labels join the
+// given columns, values parse from valueCol.
+func ChartFromTable(t Table, id, title string, labelCols []int, valueCol int) Chart {
+	c := Chart{ID: id, Title: title}
+	for _, row := range t.Rows {
+		var parts []string
+		for _, lc := range labelCols {
+			parts = append(parts, row[lc])
+		}
+		v, err := strconv.ParseFloat(row[valueCol], 64)
+		if err != nil {
+			continue
+		}
+		c.Rows = append(c.Rows, ChartRow{Label: strings.Join(parts, " @"), Value: v})
+	}
+	return c
+}
+
+// Charts regenerates the paper's three figures as ASCII bar charts from
+// the corresponding experiment tables.
+func Charts(sizes []float64) []Chart {
+	fig4 := Fig4(sizes)
+	fig5 := Fig5(sizes)
+	fig6 := Fig6(sizes)
+	return []Chart{
+		ChartFromTable(fig4[0], "fig4-elapsed",
+			"Normalized elapsed time, LRU-SP vs original kernel (bars; | marks 1.0)",
+			[]int{0, 1}, 4),
+		ChartFromTable(fig4[1], "fig4-ios",
+			"Normalized block I/Os, LRU-SP vs original kernel",
+			[]int{0, 1}, 4),
+		ChartFromTable(fig5[0], "fig5-elapsed",
+			"Multi-application normalized total elapsed time",
+			[]int{0, 1}, 4),
+		ChartFromTable(fig5[0], "fig5-ios",
+			"Multi-application normalized total block I/Os",
+			[]int{0, 1}, 7),
+		ChartFromTable(fig6[0], "fig6-ios",
+			"ALLOC-LRU block I/Os normalized to LRU-SP (above 1.0 = swapping needed)",
+			[]int{0, 1}, 7),
+	}
+}

@@ -1,0 +1,195 @@
+// Package expt drives the paper's experiments: it assembles machines,
+// launches workload mixes, and renders the measurements next to the
+// paper's published numbers so every table and figure can be regenerated
+// and compared at a glance.
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AppSpec is one application in a mix.
+type AppSpec struct {
+	Make func() workload.App
+	Mode workload.Mode
+}
+
+// RunSpec describes one simulated machine execution.
+type RunSpec struct {
+	Apps    []AppSpec
+	CacheMB float64
+	Alloc   cache.Alloc
+	Seed    uint64
+	// Revoke optionally enables the revocation extension.
+	Revoke cache.RevokeConfig
+	// ReadAheadOff disables sequential read-ahead (for ablations);
+	// ReadAheadDepth overrides the depth when read-ahead is on (0 keeps
+	// the default).
+	ReadAheadOff   bool
+	ReadAheadDepth int
+	// SpreadSync smooths the update daemon (Mogul's better update
+	// policy) instead of Ultrix's 30-second bursts.
+	SpreadSync bool
+	// UpcallCPU charges this much CPU per manager consultation,
+	// simulating an upcall/RPC control implementation.
+	UpcallCPU sim.Time
+	// FIFODisk replaces the C-LOOK elevator with arrival-order service.
+	FIFODisk bool
+	// Trace, when non-nil, receives every block access.
+	Trace func(core.TraceEvent)
+}
+
+// AppResult is one application's outcome.
+type AppResult struct {
+	Name     string
+	Elapsed  sim.Time
+	BlockIOs int64
+	Stats    core.ProcStats
+}
+
+// RunResult is one machine execution's outcome.
+type RunResult struct {
+	PerApp       []AppResult
+	TotalElapsed sim.Time // all applications finished
+	TotalIOs     int64
+	CacheStats   cache.Stats
+	MaxQueue     int // deepest disk queue seen on any drive
+}
+
+// RunStats summarizes repeated runs of one spec with varying seeds, the
+// paper's averages-of-N-cold-start-runs methodology. Block I/O counts are
+// seed-independent (the reference streams are fixed); elapsed times vary
+// only through rotational-latency draws, so variances stay small — the
+// paper reports the same (under 2% with few exceptions).
+type RunStats struct {
+	Repeats      int
+	MeanElapsed  sim.Time
+	VarianceFrac float64 // max |run - mean| / mean over the repeats
+	TotalIOs     int64
+}
+
+// RunRepeated executes the spec n times with seeds 1..n and aggregates
+// elapsed-time statistics. It panics if the I/O counts differ across
+// seeds, which would mean the seed leaked into a reference stream.
+func RunRepeated(spec RunSpec, n int) RunStats {
+	if n <= 0 {
+		n = 1
+	}
+	var total sim.Time
+	var times []sim.Time
+	var ios int64 = -1
+	for i := 0; i < n; i++ {
+		spec.Seed = uint64(i + 1)
+		res := Run(spec)
+		times = append(times, res.TotalElapsed)
+		total += res.TotalElapsed
+		if ios >= 0 && res.TotalIOs != ios {
+			panic(fmt.Sprintf("expt: I/O count changed with seed: %d vs %d", res.TotalIOs, ios))
+		}
+		ios = res.TotalIOs
+	}
+	mean := total / sim.Time(n)
+	var worst float64
+	for _, t := range times {
+		d := float64(t-mean) / float64(mean)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return RunStats{Repeats: n, MeanElapsed: mean, VarianceFrac: worst, TotalIOs: ios}
+}
+
+// Run executes one machine to completion.
+func Run(spec RunSpec) RunResult {
+	cfg := core.DefaultConfig()
+	if spec.CacheMB > 0 {
+		cfg.CacheBytes = core.MB(spec.CacheMB)
+	}
+	cfg.Alloc = spec.Alloc
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	cfg.Revoke = spec.Revoke
+	if spec.ReadAheadOff {
+		cfg.ReadAhead = false
+	}
+	if spec.ReadAheadDepth > 0 {
+		cfg.ReadAheadDepth = spec.ReadAheadDepth
+	}
+	cfg.SpreadSync = spec.SpreadSync
+	cfg.UpcallCPU = spec.UpcallCPU
+	if spec.FIFODisk {
+		cfg.DiskSched = disk.FIFO
+	}
+	cfg.Trace = spec.Trace
+	sys := core.NewSystem(cfg)
+	var procs []*core.Proc
+	var apps []workload.App
+	for _, as := range spec.Apps {
+		a := as.Make()
+		apps = append(apps, a)
+		procs = append(procs, workload.Launch(sys, a, as.Mode))
+	}
+	sys.Run()
+	res := RunResult{CacheStats: sys.Cache().Stats()}
+	for i := 0; i < 2; i++ {
+		if q := sys.Disk(i).Stats().MaxQueue; q > res.MaxQueue {
+			res.MaxQueue = q
+		}
+	}
+	for i, p := range procs {
+		ar := AppResult{
+			Name:     apps[i].Name(),
+			Elapsed:  p.Elapsed(),
+			BlockIOs: p.Stats().BlockIOs(),
+			Stats:    p.Stats(),
+		}
+		res.PerApp = append(res.PerApp, ar)
+		res.TotalIOs += ar.BlockIOs
+		if end := p.Elapsed(); end > res.TotalElapsed {
+			res.TotalElapsed = end
+		}
+	}
+	return res
+}
+
+// Sizes are the paper's buffer cache configurations in MB.
+var Sizes = []float64{6.4, 8, 12, 16}
+
+// singleApps is the Figure 4 roster in the paper's presentation order.
+var singleApps = []string{"din", "cs1", "cs3", "cs2", "gli", "ldk", "pjn", "sort"}
+
+// Registry maps workload names to constructors.
+var Registry = map[string]func() workload.App{
+	"cs1":  workload.Cscope1,
+	"cs2":  workload.Cscope2,
+	"cs3":  workload.Cscope3,
+	"din":  workload.Dinero,
+	"gli":  workload.Glimpse,
+	"ldk":  workload.LinkEditor,
+	"pjn":  workload.PostgresJoin,
+	"sort": workload.Sort,
+}
+
+// mixSpec builds the AppSpecs for a named mix like "cs2+gli", every app in
+// the given mode.
+func mixSpec(names []string, mode workload.Mode) []AppSpec {
+	var out []AppSpec
+	for _, n := range names {
+		mk, ok := Registry[n]
+		if !ok {
+			panic(fmt.Sprintf("expt: unknown workload %q", n))
+		}
+		out = append(out, AppSpec{Make: mk, Mode: mode})
+	}
+	return out
+}

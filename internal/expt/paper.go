@@ -1,0 +1,151 @@
+package expt
+
+// The paper's published measurements (appendix Tables 5 and 6, and
+// Tables 1-4 of Section 6), used to print side-by-side comparisons.
+// Indexing for per-size arrays follows Sizes: 6.4, 8, 12, 16 MB.
+
+// paperSingle holds one application's appendix rows.
+type paperSingle struct {
+	ElapsedOrig [4]float64
+	ElapsedSP   [4]float64
+	IOsOrig     [4]int64
+	IOsSP       [4]int64
+}
+
+// PaperSingles is the appendix data (Tables 5 and 6).
+var PaperSingles = map[string]paperSingle{
+	"din": {
+		ElapsedOrig: [4]float64{117, 99, 99, 99},
+		ElapsedSP:   [4]float64{106, 99, 100, 100},
+		IOsOrig:     [4]int64{8888, 998, 997, 998},
+		IOsSP:       [4]int64{2573, 1003, 997, 997},
+	},
+	"cs1": {
+		ElapsedOrig: [4]float64{62, 61, 28, 28},
+		ElapsedSP:   [4]float64{38, 33, 27, 28},
+		IOsOrig:     [4]int64{8634, 8630, 1141, 1141},
+		IOsSP:       [4]int64{3066, 1628, 1141, 1141},
+	},
+	"cs3": {
+		ElapsedOrig: [4]float64{96, 96, 57, 47},
+		ElapsedSP:   [4]float64{79, 71, 50, 48},
+		IOsOrig:     [4]int64{6575, 6571, 2815, 1728},
+		IOsSP:       [4]int64{4394, 3548, 1903, 1733},
+	},
+	"cs2": {
+		ElapsedOrig: [4]float64{191, 190, 188, 184},
+		ElapsedSP:   [4]float64{172, 168, 152, 128},
+		IOsOrig:     [4]int64{11785, 11762, 11717, 11647},
+		IOsSP:       [4]int64{9680, 9091, 7650, 5597},
+	},
+	"gli": {
+		ElapsedOrig: [4]float64{126, 123, 113, 97},
+		ElapsedSP:   [4]float64{114, 108, 92, 84},
+		IOsOrig:     [4]int64{10435, 10321, 9720, 7508},
+		IOsSP:       [4]int64{8870, 8308, 7120, 6275},
+	},
+	"ldk": {
+		ElapsedOrig: [4]float64{66, 65, 65, 65},
+		ElapsedSP:   [4]float64{66, 64, 60, 56},
+		IOsOrig:     [4]int64{5395, 5389, 5397, 5390},
+		IOsSP:       [4]int64{5011, 4760, 4385, 3898},
+	},
+	"pjn": {
+		ElapsedOrig: [4]float64{225, 220, 202, 187},
+		ElapsedSP:   [4]float64{199, 192, 185, 174},
+		IOsOrig:     [4]int64{7166, 6738, 5897, 5257},
+		IOsSP:       [4]int64{5800, 5635, 5334, 4993},
+	},
+	"sort": {
+		ElapsedOrig: [4]float64{339, 338, 339, 336},
+		ElapsedSP:   [4]float64{294, 281, 256, 243},
+		IOsOrig:     [4]int64{14670, 14671, 14639, 14520},
+		IOsSP:       [4]int64{12462, 11884, 10400, 9460},
+	},
+}
+
+// PaperTable1 is Section 6.1's placeholder experiment: elapsed seconds and
+// block I/Os for Read390/400/490/500 under the three settings.
+var PaperTable1 = struct {
+	Ns       []int32
+	Elapsed  map[string][4]float64
+	BlockIOs map[string][4]int64
+	Settings []string
+}{
+	Ns:       []int32{390, 400, 490, 500},
+	Settings: []string{"Oblivious", "Unprotected", "Protected"},
+	Elapsed: map[string][4]float64{
+		"Oblivious":   {53, 58, 59, 72},
+		"Unprotected": {73, 89, 76, 122},
+		"Protected":   {75, 75, 72, 91},
+	},
+	BlockIOs: map[string][4]int64{
+		"Oblivious":   {1172, 1181, 1176, 1481},
+		"Unprotected": {1300, 1538, 1465, 2294},
+		"Protected":   {1170, 1170, 1199, 1580},
+	},
+}
+
+// PaperTable2 is the effect of a foolish Read300 on smart applications.
+var PaperTable2 = struct {
+	Partners []string
+	Elapsed  map[string][4]float64 // by policy "Oblivious"/"Foolish"; index by partner order
+	BlockIOs map[string][4]int64
+}{
+	Partners: []string{"din", "cs2", "gli", "ldk"},
+	Elapsed: map[string][4]float64{
+		"Oblivious": {155, 225, 156, 112},
+		"Foolish":   {202, 339, 261, 208},
+	},
+	BlockIOs: map[string][4]int64{
+		"Oblivious": {3067, 9760, 9086, 5201},
+		"Foolish":   {3495, 10542, 9759, 5374},
+	},
+}
+
+// PaperTable3 is Read300's elapsed time next to oblivious vs smart
+// partners on one disk.
+var PaperTable3 = struct {
+	Partners []string
+	Elapsed  map[string][4]float64
+}{
+	Partners: []string{"din", "cs2", "gli", "ldk"},
+	Elapsed: map[string][4]float64{
+		"Oblivious": {87, 88, 60, 78},
+		"Smart":     {67, 83, 64, 76},
+	},
+}
+
+// PaperTable4 is the two-disk variant of Table 3.
+var PaperTable4 = struct {
+	Partners []string
+	Elapsed  map[string][4]float64
+}{
+	Partners: []string{"din", "cs2", "gli", "ldk"},
+	Elapsed: map[string][4]float64{
+		"Oblivious": {20, 18, 19, 17},
+		"Smart":     {20, 17.5, 18, 17},
+	},
+}
+
+// Fig5Mixes are the paper's nine concurrent-application combinations.
+var Fig5Mixes = [][]string{
+	{"cs2", "gli"},
+	{"cs3", "ldk"},
+	{"gli", "sort"},
+	{"din", "sort"},
+	{"sort", "ldk"},
+	{"pjn", "ldk"},
+	{"din", "cs2", "ldk"},
+	{"cs1", "gli", "ldk"},
+	{"din", "cs3", "gli", "ldk"},
+}
+
+// Fig6Mixes are the combinations re-run under ALLOC-LRU in Section 6.1.
+var Fig6Mixes = [][]string{
+	{"cs2", "gli"},
+	{"cs3", "ldk"},
+	{"din", "cs2", "ldk"},
+	{"cs1", "gli", "ldk"},
+	{"din", "cs3", "gli", "ldk"},
+}

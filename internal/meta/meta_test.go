@@ -1,0 +1,137 @@
+package meta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(4)
+	if c.Lookup(1) {
+		t.Error("first lookup hit")
+	}
+	if !c.Lookup(1) {
+		t.Error("second lookup missed")
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Errorf("HitRatio = %v", st.HitRatio())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for id := fs.FileID(1); id <= 3; id++ {
+		c.Lookup(id)
+	}
+	c.Lookup(1) // refresh 1
+	c.Lookup(4) // evicts 2
+	if !c.Lookup(1) || !c.Lookup(3) || !c.Lookup(4) {
+		t.Error("survivors missing")
+	}
+	if c.Lookup(2) {
+		t.Error("LRU entry 2 survived")
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestPrimeAndInvalidate(t *testing.T) {
+	c := New(4)
+	c.Prime(7)
+	c.Prime(7) // idempotent
+	if !c.Lookup(7) {
+		t.Error("primed inode missed")
+	}
+	if c.Stats().Lookups != 1 {
+		t.Errorf("Prime counted as lookup: %+v", c.Stats())
+	}
+	c.Invalidate(7)
+	c.Invalidate(7) // idempotent
+	if c.Lookup(7) {
+		t.Error("invalidated inode hit")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyHitRatio(t *testing.T) {
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty HitRatio not 0")
+	}
+}
+
+// Property: the cache never exceeds capacity and hits+misses = lookups.
+func TestQuickBounds(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw)%16
+		c := New(capacity)
+		rng := sim.NewRand(seed)
+		for i := 0; i < 2000; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				c.Prime(fs.FileID(rng.Intn(40)))
+			case 1:
+				c.Invalidate(fs.FileID(rng.Intn(40)))
+			default:
+				c.Lookup(fs.FileID(rng.Intn(40)))
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Lookups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: meta cache behaves exactly like an LRU set — verified against
+// a slow reference model.
+func TestQuickMatchesReferenceLRU(t *testing.T) {
+	f := func(seed uint64) bool {
+		const capacity = 5
+		c := New(capacity)
+		var ref []fs.FileID // slice-based LRU, head = LRU
+		refLookup := func(id fs.FileID) bool {
+			for i, v := range ref {
+				if v == id {
+					ref = append(append(append([]fs.FileID{}, ref[:i]...), ref[i+1:]...), id)
+					return true
+				}
+			}
+			if len(ref) >= capacity {
+				ref = ref[1:]
+			}
+			ref = append(ref, id)
+			return false
+		}
+		rng := sim.NewRand(seed)
+		for i := 0; i < 1500; i++ {
+			id := fs.FileID(rng.Intn(12))
+			if c.Lookup(id) != refLookup(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

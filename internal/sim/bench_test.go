@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkHandoff measures the engine's fundamental cost: one
+// park/resume round trip through the scheduler.
+func BenchmarkHandoff(b *testing.B) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkTwoProcInterleave measures alternating wake-ups of two
+// processes — the common multi-application pattern.
+func BenchmarkTwoProcInterleave(b *testing.B) {
+	e := New()
+	for pi := 0; pi < 2; pi++ {
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < b.N/2; i++ {
+				p.Sleep(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceReserve measures the FCFS resource fast path.
+func BenchmarkResourceReserve(b *testing.B) {
+	e := New()
+	r := e.NewResource("r")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reserve(1)
+	}
+}
+
+// BenchmarkRand measures the PRNG.
+func BenchmarkRand(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

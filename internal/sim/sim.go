@@ -1,0 +1,378 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock and runs simulated processes, each of
+// which is an ordinary Go function executing on its own goroutine. At any
+// instant exactly one process goroutine is runnable; a process runs until it
+// blocks on the virtual clock (Sleep, SleepUntil) or on a condition
+// (Cond.Wait), at which point control hands back to the engine. Events that
+// fire at the same virtual time run in the order they were scheduled. Given
+// the same inputs, a simulation therefore produces exactly the same
+// interleaving and the same results on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, measured in microseconds from the start
+// of the simulation.
+type Time int64
+
+// Convenient durations expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// FromSeconds converts floating-point seconds to Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// FromMillis converts floating-point milliseconds to Time.
+func FromMillis(ms float64) Time { return Time(ms*float64(Millisecond) + 0.5) }
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: schedule order
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	yield   chan yieldMsg
+	started bool
+	killing bool
+	nLive   int // live non-daemon processes
+}
+
+type yieldMsg struct {
+	proc *Proc
+	done bool
+	pani interface{} // non-nil if the proc body panicked
+}
+
+// New returns a fresh simulation engine with the clock at zero.
+func New() *Engine {
+	return &Engine{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// ProcState describes the lifecycle of a simulated process.
+type ProcState int
+
+const (
+	// Created means Spawn has been called but the body has not started.
+	Created ProcState = iota
+	// Running means the body has started and not yet returned.
+	Running
+	// Done means the body returned.
+	Done
+)
+
+// Proc is a simulated process. Its body function runs on a dedicated
+// goroutine; all blocking is via the methods on Proc, which cooperate with
+// the engine.
+type Proc struct {
+	eng     *Engine
+	id      int
+	name    string
+	body    func(*Proc)
+	resume  chan struct{}
+	state   ProcState
+	daemon  bool
+	start   Time // virtual time the body begins
+	begun   Time // virtual time the body actually began
+	end     Time // virtual time the body returned
+	waiting bool // parked on an external condition, not the clock
+}
+
+// ID returns the process identifier, assigned in spawn order starting at 0.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the process lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Now returns the current virtual time. Only valid while p is running.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// StartTime returns the virtual time at which the body began executing.
+func (p *Proc) StartTime() Time { return p.begun }
+
+// EndTime returns the virtual time at which the body returned. It is only
+// meaningful once State is Done.
+func (p *Proc) EndTime() Time { return p.end }
+
+// Elapsed returns the virtual time the process body took from its start to
+// its completion. It is only meaningful once State is Done.
+func (p *Proc) Elapsed() Time { return p.end - p.begun }
+
+// Spawn registers a new process whose body starts at the current virtual
+// time (or at engine start, if the engine is not running yet).
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	return e.SpawnAt(name, e.now, body)
+}
+
+// SpawnAt registers a new process whose body starts at virtual time at.
+// Spawning in the past is an error and panics.
+func (e *Engine) SpawnAt(name string, at Time, body func(*Proc)) *Proc {
+	p := e.spawn(name, at, body, false)
+	return p
+}
+
+// SpawnDaemon registers a background process that does not keep the
+// simulation alive: Run returns once every non-daemon process has finished,
+// abandoning daemons wherever they are parked. Daemons are for periodic
+// housekeeping such as a sync/update daemon.
+func (e *Engine) SpawnDaemon(name string, body func(*Proc)) *Proc {
+	return e.spawn(name, e.now, body, true)
+}
+
+func (e *Engine) spawn(name string, at Time, body func(*Proc), daemon bool) *Proc {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", at, e.now))
+	}
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		body:   body,
+		resume: make(chan struct{}),
+		start:  at,
+		daemon: daemon,
+	}
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.nLive++
+	}
+	e.schedule(at, p)
+	return p
+}
+
+func (e *Engine) schedule(at Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// errKilled is the sentinel panic value used to unwind abandoned daemon
+// goroutines when the simulation ends.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: daemon killed at shutdown" }
+
+// Run executes the simulation until every non-daemon process has finished
+// (or no scheduled events remain). It panics if a process body panicked,
+// propagating the original panic value, or if the simulation deadlocks
+// (live processes remain but none is scheduled — e.g. a process parked on a
+// condition nobody will signal). Daemon processes still parked when Run
+// finishes are unwound cleanly so their goroutines do not leak.
+func (e *Engine) Run() {
+	if e.started {
+		panic("sim: Engine.Run called twice")
+	}
+	e.started = true
+	for e.nLive > 0 && len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		p := ev.proc
+		if p.state == Done {
+			continue // stale wake-up
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.step(p)
+	}
+	if e.nLive > 0 {
+		names := e.liveNames()
+		panic(fmt.Sprintf("sim: deadlock — %d live process(es) but no pending events: %v", e.nLive, names))
+	}
+	e.shutdownDaemons()
+}
+
+// shutdownDaemons unwinds every still-running daemon by resuming it with
+// the kill flag set; its park call panics with killedError, which the
+// process wrapper reports back here.
+func (e *Engine) shutdownDaemons() {
+	e.killing = true
+	for _, p := range e.procs {
+		if !p.daemon || p.state != Running {
+			continue
+		}
+		p.resume <- struct{}{}
+		msg := <-e.yield
+		if msg.pani != nil {
+			if _, ok := msg.pani.(killedError); !ok {
+				panic(msg.pani)
+			}
+		}
+		p.state = Done
+		p.end = e.now
+	}
+}
+
+func (e *Engine) liveNames() []string {
+	var names []string
+	for _, p := range e.procs {
+		if p.state != Done {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// step resumes process p and waits for it to yield back.
+func (e *Engine) step(p *Proc) {
+	switch p.state {
+	case Created:
+		p.state = Running
+		p.begun = e.now
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.yield <- yieldMsg{proc: p, done: true, pani: r}
+					return
+				}
+			}()
+			p.body(p)
+			e.yield <- yieldMsg{proc: p, done: true}
+		}()
+	case Running:
+		p.resume <- struct{}{}
+	case Done:
+		return
+	}
+	msg := <-e.yield
+	if msg.pani != nil {
+		panic(msg.pani)
+	}
+	if msg.done {
+		mp := msg.proc
+		mp.state = Done
+		mp.end = e.now
+		if !mp.daemon {
+			e.nLive--
+		}
+	}
+}
+
+// park blocks the calling process goroutine until the engine resumes it.
+// Must be called from within the process's own body.
+func (p *Proc) park() {
+	p.eng.yield <- yieldMsg{proc: p}
+	<-p.resume
+	if p.eng.killing {
+		panic(killedError{})
+	}
+}
+
+// SleepUntil blocks the process until virtual time t. Sleeping until a time
+// in the past (or the present) returns immediately but still yields to the
+// scheduler, preserving event ordering.
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.eng.schedule(t, p)
+	p.park()
+}
+
+// Sleep blocks the process for duration d of virtual time. Negative
+// durations sleep zero time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.eng.now + d)
+}
+
+// Yield gives other processes scheduled for the current instant a chance to
+// run, then continues.
+func (p *Proc) Yield() { p.SleepUntil(p.eng.now) }
+
+// Cond is a waitable condition inside the simulation: processes block on it
+// with Wait and are released, in FIFO order, by Signal or Broadcast issued
+// from another process.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition tied to the engine.
+func (e *Engine) NewCond() *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until another process signals the
+// condition.
+func (c *Cond) Wait(p *Proc) {
+	p.waiting = true
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, scheduling it at the current
+// virtual time. It reports whether a process was woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.waiting = false
+	c.eng.schedule(c.eng.now, w)
+	return true
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	for c.Signal() {
+	}
+}
+
+// Waiters reports how many processes are parked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+func seq(n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{File: 1, Block: int32(i)}
+	}
+	return refs
+}
+
+func cyclic(blocks, passes int) []Ref {
+	var refs []Ref
+	for p := 0; p < passes; p++ {
+		refs = append(refs, seq(blocks)...)
+	}
+	return refs
+}
+
+func TestTraceAppendAndUnique(t *testing.T) {
+	var tr Trace
+	tr.Append(1, 0)
+	tr.Append(1, 1)
+	tr.Append(1, 0)
+	tr.Append(2, 0)
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Unique() != 3 {
+		t.Errorf("Unique = %d, want 3", tr.Unique())
+	}
+	if got := (Ref{File: 2, Block: 7}).String(); got != "f2:7" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLRUCyclicThrash(t *testing.T) {
+	// The canonical pathology: a cycle one block larger than the cache
+	// misses on every reference under LRU.
+	refs := cyclic(11, 5)
+	r := SimLRU(refs, 10)
+	if r.Hits != 0 {
+		t.Errorf("LRU hits = %d on an over-size cycle, want 0", r.Hits)
+	}
+	if r.HitRatio() != 0 {
+		t.Errorf("HitRatio = %v", r.HitRatio())
+	}
+}
+
+func TestMRUCyclicKeepsPrefix(t *testing.T) {
+	refs := cyclic(20, 5)
+	r := SimMRU(refs, 10)
+	// MRU keeps blocks 0..8 resident; each pass misses about 11 of 20.
+	// Compulsory 20 + 4 passes x ~11.
+	if r.Misses > 70 || r.Misses < 20 {
+		t.Errorf("MRU misses = %d, want about 64", r.Misses)
+	}
+	lru := SimLRU(refs, 10)
+	if r.Misses >= lru.Misses {
+		t.Errorf("MRU (%d) not better than LRU (%d) on a cycle", r.Misses, lru.Misses)
+	}
+}
+
+func TestFittingWorkingSetAllPoliciesEqual(t *testing.T) {
+	refs := cyclic(10, 5)
+	for _, r := range Compare(refs, 10) {
+		if r.Misses != 10 {
+			t.Errorf("%s: misses = %d, want compulsory 10", r.Policy, r.Misses)
+		}
+	}
+}
+
+func TestOPTOnCycleEqualsMRUIdeal(t *testing.T) {
+	// On a pure cycle OPT keeps capacity blocks resident and misses
+	// exactly blocks-capacity times per subsequent pass.
+	const blocks, passes, capacity = 20, 5, 10
+	refs := cyclic(blocks, passes)
+	r := SimOPT(refs, capacity)
+	want := int64(blocks + (passes-1)*(blocks-capacity))
+	if r.Misses != want {
+		t.Errorf("OPT misses = %d, want %d", r.Misses, want)
+	}
+}
+
+func TestOPTHotCold(t *testing.T) {
+	// A hot block touched every other reference with a cold stream: OPT
+	// must keep the hot block (2 misses only: hot + per cold block).
+	var refs []Ref
+	hot := Ref{File: 9, Block: 0}
+	for i := 0; i < 100; i++ {
+		refs = append(refs, Ref{File: 1, Block: int32(i)}, hot)
+	}
+	r := SimOPT(refs, 4)
+	if r.Misses != 101 {
+		t.Errorf("OPT misses = %d, want 101 (hot block never evicted)", r.Misses)
+	}
+}
+
+func TestCapacityOnePanicsZero(t *testing.T) {
+	for _, f := range []func([]Ref, int) Result{SimLRU, SimMRU, SimOPT} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero capacity did not panic")
+				}
+			}()
+			f(seq(3), 0)
+		}()
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	refs := []Ref{{1, 0}, {1, 0}, {1, 1}, {1, 0}}
+	for _, r := range Compare(refs, 1) {
+		if r.Hits != 1 {
+			t.Errorf("%s: hits = %d, want 1", r.Policy, r.Hits)
+		}
+	}
+}
+
+// TestQuickOPTIsOptimal: OPT must never miss more than LRU or MRU on any
+// stream — the defining property of Belady's algorithm.
+func TestQuickOPTIsOptimal(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw)%16
+		rng := sim.NewRand(seed)
+		refs := make([]Ref, 1500)
+		for i := range refs {
+			refs[i] = Ref{File: fs.FileID(1 + rng.Intn(2)), Block: int32(rng.Intn(40))}
+		}
+		opt := SimOPT(refs, capacity)
+		if opt.Misses > SimLRU(refs, capacity).Misses {
+			return false
+		}
+		return opt.Misses <= SimMRU(refs, capacity).Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConservation: for all policies, hits + misses = references and
+// misses >= unique blocks (compulsory).
+func TestQuickConservation(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw)%20
+		rng := sim.NewRand(seed)
+		var tr Trace
+		for i := 0; i < 800; i++ {
+			tr.Append(fs.FileID(1+rng.Intn(3)), int32(rng.Intn(30)))
+		}
+		for _, r := range Compare(tr.Refs, capacity) {
+			if r.Hits+r.Misses != int64(tr.Len()) {
+				return false
+			}
+			if r.Misses < int64(tr.Unique()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLRUStackProperty: LRU has the inclusion property — a bigger
+// cache never misses more.
+func TestQuickLRUStackProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		refs := make([]Ref, 1000)
+		for i := range refs {
+			refs[i] = Ref{File: 1, Block: int32(rng.Intn(50))}
+		}
+		prev := int64(1 << 60)
+		for _, capacity := range []int{2, 4, 8, 16, 32} {
+			m := SimLRU(refs, capacity).Misses
+			if m > prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOPTStackProperty: OPT also has the inclusion property.
+func TestQuickOPTStackProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		refs := make([]Ref, 1000)
+		for i := range refs {
+			refs[i] = Ref{File: 1, Block: int32(rng.Intn(50))}
+		}
+		prev := int64(1 << 60)
+		for _, capacity := range []int{2, 4, 8, 16, 32} {
+			m := SimOPT(refs, capacity).Misses
+			if m > prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRU2ScanResistance(t *testing.T) {
+	// Hot set re-referenced between one-shot scan blocks: LRU-2 keeps
+	// the hot set (scan blocks have infinite 2-distance) while LRU lets
+	// the scan flush it.
+	var refs []Ref
+	scan := int32(0)
+	for i := 0; i < 400; i++ {
+		refs = append(refs, Ref{File: 9, Block: int32(i % 4)}) // hot 4
+		for j := 0; j < 3; j++ {                               // heavy scan
+			refs = append(refs, Ref{File: 1, Block: scan})
+			scan++
+		}
+	}
+	// Hot reuse distance (15 distinct blocks) exceeds the cache, so LRU
+	// thrashes the hot set; LRU-2 evicts the once-referenced scan blocks
+	// first and keeps it.
+	lru := SimLRU(refs, 8)
+	lru2 := SimLRU2(refs, 8)
+	if lru2.Misses >= lru.Misses {
+		t.Errorf("LRU-2 (%d misses) not scan-resistant vs LRU (%d)", lru2.Misses, lru.Misses)
+	}
+	// Misses under LRU-2: the 1200 scan blocks plus a handful of hot
+	// compulsories.
+	if lru2.Misses > 1210 {
+		t.Errorf("LRU-2 misses = %d, want close to 1204", lru2.Misses)
+	}
+}
+
+func TestLRU2CapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	SimLRU2(seq(3), 0)
+}
+
+func TestLRU2NeverBelowOPT(t *testing.T) {
+	rng := sim.NewRand(31)
+	refs := make([]Ref, 2000)
+	for i := range refs {
+		refs[i] = Ref{File: 1, Block: int32(rng.Intn(60))}
+	}
+	if SimLRU2(refs, 16).Misses < SimOPT(refs, 16).Misses {
+		t.Error("LRU-2 beat OPT, which is impossible")
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// dinero models the din workload: Mark Hill's dineroIII cache simulator
+// fed the 8 MB "cc" trace from the Hennessy & Patterson course material,
+// run once per simulated cache configuration (line size 32/64/128 bytes ×
+// associativity 1/2/4 = nine configurations). Each configuration reads the
+// trace file sequentially from the beginning — the canonical cyclic access
+// pattern — and burns substantial CPU per block simulating the cache.
+//
+// Smart policy (Section 5.1):
+//
+//	set_priority(trace, 0); set_policy(0, MRU);
+type dinero struct {
+	name    string
+	blocks  int32
+	configs int
+	compute sim.Time
+	trace   *fs.File
+}
+
+// Dinero returns the din workload.
+func Dinero() App {
+	return &dinero{
+		name:    "din",
+		blocks:  1024, // 8 MB trace
+		configs: 9,    // 3 line sizes x 3 associativities
+		// Calibration: solving elapsed = base + misses*c over the
+		// appendix rows gives base ~97 s of pure CPU across 9216 block
+		// reads (~10.2 ms of simulation work per block) and a residual
+		// ~2.3 ms per miss — sequential misses largely overlap with
+		// dinero's computation.
+		compute: sim.FromMillis(10.2),
+	}
+}
+
+func (d *dinero) Name() string     { return d.name }
+func (d *dinero) DefaultDisk() int { return 0 }
+
+func (d *dinero) Prepare(sys *core.System) {
+	d.trace = sys.CreateFile(d.name+"/cc.trace", d.DefaultDisk(), int(d.blocks))
+}
+
+func (d *dinero) Run(p *core.Proc, mode Mode) {
+	if mode == Smart {
+		mustControl(p)
+		if err := p.SetPriority(d.trace, 0); err != nil {
+			panic(err)
+		}
+		if err := p.SetPolicy(0, acm.MRU); err != nil {
+			panic(err)
+		}
+	}
+	for c := 0; c < d.configs; c++ {
+		scanFile(p, d.trace, d.compute)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// glimpse models the gli workload: Manber and Wu's text retrieval system
+// indexing a 40 MB snapshot of news articles with about 2 MB of index
+// files. Every query reads the index files first, always in the same
+// order, and then scans a query-dependent subset of the article
+// partitions, also in creation order. Five keyword queries are run.
+//
+// Smart policy (Section 5.1): the index files get long-term priority 1 and
+// the articles stay at priority 0; both levels use MRU since both are read
+// in a fixed order:
+//
+//	set_priority(".glimpse_index", 1); ... set_policy(1, MRU); set_policy(0, MRU);
+type glimpse struct {
+	name       string
+	queries    int
+	partitions int
+	partBlocks int32
+	idxBlocks  []int32 // the four index files' sizes
+	selectProb float64 // fraction of partitions each query scans
+	compute    sim.Time
+
+	idx   []*fs.File
+	parts []*fs.File
+}
+
+// Glimpse returns the gli workload.
+func Glimpse() App {
+	return &glimpse{
+		name:       "gli",
+		queries:    5,
+		partitions: 256, // glimpse's default partitioning of the 40 MB
+		partBlocks: 20,  // ~160 KB per partition
+		// .glimpse_index dominates; the three auxiliary files are
+		// small. Total ~2 MB = 256 blocks.
+		idxBlocks: []int32{216, 20, 12, 8},
+		// ~36% of partitions match a keyword: each query touches
+		// ~14.4 MB of articles, reproducing the appendix I/O level.
+		selectProb: 0.36,
+		// Calibration: solving elapsed = base + misses*c over the
+		// appendix rows gives ~23 s of CPU over 10435 reads (~1.7 ms
+		// of index/agrep work per block) and ~10 ms per miss.
+		compute: sim.FromMillis(1.7),
+	}
+}
+
+func (g *glimpse) Name() string     { return g.name }
+func (g *glimpse) DefaultDisk() int { return 0 }
+
+func (g *glimpse) Prepare(sys *core.System) {
+	names := []string{".glimpse_index", ".glimpse_partitions", ".glimpse_filenames", ".glimpse_statistics"}
+	for i, n := range g.idxBlocks {
+		f := sys.CreateFile(g.name+"/"+names[i], g.DefaultDisk(), int(n))
+		g.idx = append(g.idx, f)
+	}
+	for i := 0; i < g.partitions; i++ {
+		f := sys.CreateFile(fmt.Sprintf("%s/part%03d", g.name, i), g.DefaultDisk(), int(g.partBlocks))
+		g.parts = append(g.parts, f)
+	}
+}
+
+func (g *glimpse) Run(p *core.Proc, mode Mode) {
+	if mode == Smart {
+		mustControl(p)
+		for _, f := range g.idx {
+			if err := p.SetPriority(f, 1); err != nil {
+				panic(err)
+			}
+		}
+		if err := p.SetPolicy(1, acm.MRU); err != nil {
+			panic(err)
+		}
+		if err := p.SetPolicy(0, acm.MRU); err != nil {
+			panic(err)
+		}
+	}
+	rng := sim.NewRand(seedOf(g.name))
+	for q := 0; q < g.queries; q++ {
+		// Index files first, in the same order every query.
+		for _, f := range g.idx {
+			scanFile(p, f, g.compute)
+		}
+		// Then the matching partitions, in creation order.
+		for _, part := range g.parts {
+			if rng.Float64() < g.selectProb {
+				scanFile(p, part, g.compute)
+			}
+		}
+	}
+}

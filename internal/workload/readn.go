@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// readN models the synthetic program of Section 6.1: it reads the first N
+// blocks of its file five times over, then the next N blocks five times,
+// and so on to the end of the file. Under LRU its miss ratio is low
+// exactly when it holds at least N cache blocks, making it a sensitive
+// probe of how many blocks the kernel allocates to it. With an MRU policy
+// it is a maximally foolish application, since MRU is terrible for this
+// pattern.
+//
+// Modes: Oblivious (and Smart, which for ReadN is the same — LRU is its
+// good policy) run without a manager; Foolish registers a manager and sets
+// MRU on the file.
+type readN struct {
+	name       string
+	n          int32
+	fileBlocks int32
+	repeats    int
+	disk       int
+	compute    sim.Time
+
+	file *fs.File
+}
+
+// ReadN builds a ReadN instance reading groups of n blocks from a file of
+// fileBlocks blocks placed on the given disk.
+func ReadN(n int32, fileBlocks int32, disk int) App {
+	return &readN{
+		name:       fmt.Sprintf("read%d", n),
+		n:          n,
+		fileBlocks: fileBlocks,
+		repeats:    5,
+		disk:       disk,
+		// ReadN does almost nothing with the data; Table 4 shows
+		// ~1310 I/Os completing in ~17-20 s on an uncontended disk.
+		// The small N-dependent term keeps two concurrent instances
+		// from pacing in perfect lockstep, which no real pair of
+		// processes does.
+		compute: sim.FromMillis(1.5) + sim.Time(n)%97*23*sim.Microsecond,
+	}
+}
+
+// Read300 is the paper's background process: N=300 over a 1310-block file.
+func Read300(disk int) App { return ReadN(300, 1310, disk) }
+
+// Probe returns the foreground ReadN used in Table 1 (N over a 1170-block
+// file).
+func Probe(n int32, disk int) App { return ReadN(n, 1170, disk) }
+
+func (r *readN) Name() string     { return r.name }
+func (r *readN) DefaultDisk() int { return r.disk }
+
+func (r *readN) Prepare(sys *core.System) {
+	r.file = sys.CreateFile(r.name+"/data", r.disk, int(r.fileBlocks))
+}
+
+func (r *readN) Run(p *core.Proc, mode Mode) {
+	if mode == Foolish {
+		mustControl(p)
+		if err := p.SetPriority(r.file, 0); err != nil {
+			panic(err)
+		}
+		if err := p.SetPolicy(0, acm.MRU); err != nil {
+			panic(err)
+		}
+	}
+	p.Open(r.file)
+	for start := int32(0); start < r.fileBlocks; start += r.n {
+		end := start + r.n
+		if end > r.fileBlocks {
+			end = r.fileBlocks
+		}
+		for rep := 0; rep < r.repeats; rep++ {
+			for b := start; b < end; b++ {
+				readBlock(p, r.file, b, r.compute)
+			}
+		}
+	}
+}

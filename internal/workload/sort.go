@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// extSort models the sort workload: UNIX sort -n on a 200,000-line, 17 MB
+// text file. Sort first partitions the input into sorted runs bounded by
+// its internal buffer (512 KB here, giving 34 runs), then merges eight
+// files at a time, always consuming temporary files in the order they were
+// created: 34 runs -> 5 intermediates -> 1 output. Input blocks are read
+// once; temporary blocks are written once and read once.
+//
+// Smart policy (Section 5.1): the input file gets priority -1 (read-once
+// data should leave the cache first), MRU is set on levels -1 and 0
+// (earlier-created temporaries are merged first), and a modified readline
+// flushes each block when the file pointer passes its end:
+//
+//	set_policy(-1, MRU); set_policy(0, MRU);
+//	set_priority(input, -1);
+//	... set_temppri(file, blknum, blknum, -1) as blocks are consumed.
+type extSort struct {
+	name        string
+	inputBlocks int32
+	runBlocks   int32
+	fanIn       int
+	readComp    sim.Time // parse + run formation CPU per block
+	mergeComp   sim.Time // comparison + copy CPU per merged block
+	writeComp   sim.Time
+
+	input *fs.File
+}
+
+// Sort returns the sort workload.
+func Sort() App {
+	return &extSort{
+		name:        "sort",
+		inputBlocks: 2176, // 17 MB
+		runBlocks:   64,   // 512 KB internal sort buffer -> 34 runs
+		fanIn:       8,
+		// Calibration: solving elapsed = base + IOs*c over the
+		// appendix rows gives ~82 s of CPU (parsing and merging ~90
+		// lines per block) and ~17.5 ms per I/O — the merge's
+		// alternation across eight files defeats sequential hiding.
+		readComp:  sim.FromMillis(12),
+		mergeComp: sim.FromMillis(9),
+		writeComp: sim.FromMillis(1.5),
+	}
+}
+
+func (s *extSort) Name() string     { return s.name }
+func (s *extSort) DefaultDisk() int { return 1 } // RZ26
+
+func (s *extSort) Prepare(sys *core.System) {
+	s.input = sys.CreateFile(s.name+"/input", s.DefaultDisk(), int(s.inputBlocks))
+}
+
+// consume reads block blk of f and, in smart mode, flushes it readline-
+// style once fully read.
+func (s *extSort) consume(p *core.Proc, f *fs.File, blk int32, comp sim.Time, smart bool) {
+	p.Read(f, blk)
+	if comp > 0 {
+		p.Compute(comp)
+	}
+	if smart {
+		if err := p.SetTempPri(f, blk, blk, -1); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// mergeFiles eight-way merges srcs into a new file, interleaving reads
+// across the sources as a real merge does, and removes the consumed
+// sources.
+func (s *extSort) mergeFiles(p *core.Proc, srcs []*fs.File, dstName string, smart bool) *fs.File {
+	dst := p.CreateFile(dstName, s.DefaultDisk(), 0)
+	for _, src := range srcs {
+		p.Open(src)
+	}
+	// Cursor per source; consume round-robin (the merge drains sorted
+	// runs of similar length at a similar rate).
+	cursors := make([]int32, len(srcs))
+	outBlk := int32(0)
+	for {
+		advanced := false
+		for i, src := range srcs {
+			if int(cursors[i]) >= src.Size() {
+				continue
+			}
+			s.consume(p, src, cursors[i], s.mergeComp, smart)
+			cursors[i]++
+			p.Write(dst, outBlk)
+			p.Compute(s.writeComp)
+			outBlk++
+			advanced = true
+		}
+		if !advanced {
+			break
+		}
+	}
+	for _, src := range srcs {
+		p.RemoveFile(src)
+	}
+	return dst
+}
+
+func (s *extSort) Run(p *core.Proc, mode Mode) {
+	smart := mode == Smart
+	if smart {
+		mustControl(p)
+		if err := p.SetPolicy(-1, acm.MRU); err != nil {
+			panic(err)
+		}
+		if err := p.SetPolicy(0, acm.MRU); err != nil {
+			panic(err)
+		}
+		if err := p.SetPriority(s.input, -1); err != nil {
+			panic(err)
+		}
+	}
+
+	// Phase 1: run formation.
+	p.Open(s.input)
+	var runs []*fs.File
+	for start := int32(0); start < s.inputBlocks; start += s.runBlocks {
+		end := start + s.runBlocks
+		if end > s.inputBlocks {
+			end = s.inputBlocks
+		}
+		run := p.CreateFile(fmt.Sprintf("%s/run%03d", s.name, len(runs)), s.DefaultDisk(), 0)
+		for b := start; b < end; b++ {
+			s.consume(p, s.input, b, s.readComp, smart)
+			p.Write(run, b-start)
+			p.Compute(s.writeComp)
+		}
+		runs = append(runs, run)
+	}
+
+	// Phase 2: repeated 8-way merges, earliest-created files first.
+	level := 0
+	for len(runs) > 1 {
+		var next []*fs.File
+		for i := 0; i < len(runs); i += s.fanIn {
+			j := i + s.fanIn
+			if j > len(runs) {
+				j = len(runs)
+			}
+			name := fmt.Sprintf("%s/merge%d-%03d", s.name, level, len(next))
+			next = append(next, s.mergeFiles(p, runs[i:j], name, smart))
+		}
+		runs = next
+		level++
+	}
+}

@@ -1,0 +1,104 @@
+// Package workload models the applications of the paper's Section 5:
+// cscope (three runs), dinero, glimpse, the link editor, a Postgres join,
+// external sort, and the synthetic ReadN used in Section 6. Each workload
+// reproduces the file sizes, pass structure and access order the paper
+// describes, and — in Smart mode — issues exactly the fbehavior calls of
+// Section 5.1. Per-access CPU costs are calibrated so that elapsed times
+// land in the right regime relative to the appendix tables (the shapes,
+// not the absolute seconds, are the reproduction target).
+//
+// Every workload is deterministic: any randomness (query partition
+// selection, join keys) comes from a generator seeded by the workload
+// name, so oblivious and smart runs see the same reference stream.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// Mode selects how an application treats the cache-control interface.
+type Mode int
+
+// Modes.
+const (
+	// Oblivious issues no fbehavior calls: pure kernel-controlled LRU.
+	Oblivious Mode = iota
+	// Smart applies the application's best policy from Section 5.1.
+	Smart
+	// Foolish applies a deliberately bad policy (only ReadN implements
+	// this: MRU on a pattern where MRU is terrible — Section 6.1).
+	Foolish
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Oblivious:
+		return "oblivious"
+	case Smart:
+		return "smart"
+	case Foolish:
+		return "foolish"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// App is one benchmark application.
+type App interface {
+	// Name identifies the app ("cs1", "din", ...); it prefixes the
+	// app's file names, so two instances in one system need distinct
+	// names.
+	Name() string
+	// DefaultDisk is the drive the paper ran this application on
+	// (0 = RZ56, 1 = RZ26).
+	DefaultDisk() int
+	// Prepare creates the application's input files.
+	Prepare(sys *core.System)
+	// Run executes the application body on process p.
+	Run(p *core.Proc, mode Mode)
+}
+
+// Launch prepares the app and spawns a process running it in the given
+// mode. The returned Proc carries the stats.
+func Launch(sys *core.System, a App, mode Mode) *core.Proc {
+	a.Prepare(sys)
+	return sys.Spawn(a.Name(), func(p *core.Proc) { a.Run(p, mode) })
+}
+
+// seedOf derives a deterministic RNG seed from a workload name.
+func seedOf(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// readBlock reads one block and charges per-block application compute.
+func readBlock(p *core.Proc, f *fs.File, blk int32, compute sim.Time) {
+	p.Read(f, blk)
+	if compute > 0 {
+		p.Compute(compute)
+	}
+}
+
+// scanFile opens and reads a whole file sequentially with per-block
+// compute.
+func scanFile(p *core.Proc, f *fs.File, compute sim.Time) {
+	p.Open(f)
+	for b := int32(0); b < int32(f.Size()); b++ {
+		readBlock(p, f, b, compute)
+	}
+}
+
+// mustControl turns on cache control, panicking on failure (the
+// experiments never run enough managers to hit the kernel limit).
+func mustControl(p *core.Proc) {
+	if err := p.EnableControl(); err != nil {
+		panic(err)
+	}
+}

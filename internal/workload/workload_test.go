@@ -1,0 +1,213 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runSingle executes one app alone on a machine with the given cache size
+// and kernel policy.
+func runSingle(a workload.App, cacheMB float64, alloc cache.Alloc, mode workload.Mode) (sim.Time, core.ProcStats) {
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = core.MB(cacheMB)
+	cfg.Alloc = alloc
+	sys := core.NewSystem(cfg)
+	p := workload.Launch(sys, a, mode)
+	sys.Run()
+	return p.Elapsed(), p.Stats()
+}
+
+// appFactories builds fresh instances (apps hold file handles, so each run
+// needs its own).
+var appFactories = map[string]func() workload.App{
+	"cs1":  workload.Cscope1,
+	"cs2":  workload.Cscope2,
+	"cs3":  workload.Cscope3,
+	"din":  workload.Dinero,
+	"gli":  workload.Glimpse,
+	"ldk":  workload.LinkEditor,
+	"pjn":  workload.PostgresJoin,
+	"sort": workload.Sort,
+}
+
+func TestModeString(t *testing.T) {
+	if workload.Oblivious.String() != "oblivious" ||
+		workload.Smart.String() != "smart" ||
+		workload.Foolish.String() != "foolish" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+// TestAppsRunToCompletion exercises every app in both modes under both
+// kernels at the smallest cache size.
+func TestAppsRunToCompletion(t *testing.T) {
+	for name, mk := range appFactories {
+		for _, mode := range []workload.Mode{workload.Oblivious, workload.Smart} {
+			alloc := cache.GlobalLRU
+			if mode == workload.Smart {
+				alloc = cache.LRUSP
+			}
+			elapsed, st := runSingle(mk(), 6.4, alloc, mode)
+			if elapsed <= 0 {
+				t.Errorf("%s/%v: non-positive elapsed", name, mode)
+			}
+			if st.BlockIOs() == 0 {
+				t.Errorf("%s/%v: no I/O performed", name, mode)
+			}
+			if st.Misses == 0 {
+				t.Errorf("%s/%v: no misses on a cold cache", name, mode)
+			}
+		}
+	}
+}
+
+// TestSmartNeverWorse is the paper's third allocation criterion applied to
+// real workloads: the smart policy must not increase block I/Os at any of
+// the paper's cache sizes.
+func TestSmartNeverWorse(t *testing.T) {
+	for name, mk := range appFactories {
+		for _, mb := range []float64{6.4, 8, 12, 16} {
+			_, obl := runSingle(mk(), mb, cache.GlobalLRU, workload.Oblivious)
+			_, smart := runSingle(mk(), mb, cache.LRUSP, workload.Smart)
+			if smart.BlockIOs() > obl.BlockIOs()+obl.BlockIOs()/50 {
+				t.Errorf("%s @%.1fMB: smart I/Os %d > oblivious %d",
+					name, mb, smart.BlockIOs(), obl.BlockIOs())
+			}
+		}
+	}
+}
+
+// TestDeterministicWorkloads: identical runs produce identical stats.
+func TestDeterministicWorkloads(t *testing.T) {
+	for name, mk := range appFactories {
+		e1, s1 := runSingle(mk(), 6.4, cache.LRUSP, workload.Smart)
+		e2, s2 := runSingle(mk(), 6.4, cache.LRUSP, workload.Smart)
+		if e1 != e2 || s1 != s2 {
+			t.Errorf("%s: nondeterministic: %v/%+v vs %v/%+v", name, e1, s1, e2, s2)
+		}
+	}
+}
+
+// TestReadNFoolishHurtsItself: with LRU-SP, a foolish (MRU) ReadN does
+// more I/O than an oblivious one when its groups fit in the cache.
+func TestReadNFoolishHurtsItself(t *testing.T) {
+	_, obl := runSingle(workload.Read300(0), 6.4, cache.LRUSP, workload.Oblivious)
+	_, foolish := runSingle(workload.Read300(0), 6.4, cache.LRUSP, workload.Foolish)
+	if obl.BlockIOs() != 1310 {
+		t.Errorf("oblivious Read300 I/Os = %d, want 1310 (compulsory only)", obl.BlockIOs())
+	}
+	if foolish.BlockIOs() <= obl.BlockIOs() {
+		t.Errorf("foolish Read300 I/Os = %d, not worse than oblivious %d",
+			foolish.BlockIOs(), obl.BlockIOs())
+	}
+}
+
+// TestCalibration compares single-app block I/O counts to the paper's
+// appendix (Table 6). Block I/Os are a nearly pure function of the
+// reference stream and cache policy, so they should land close; the
+// tolerances below are the reproduction contract.
+func TestCalibration(t *testing.T) {
+	type row struct {
+		app   string
+		mb    float64
+		orig  int64 // paper, original kernel
+		lrusp int64 // paper, LRU-SP
+	}
+	rows := []row{
+		{"din", 6.4, 8888, 2573},
+		{"din", 8, 998, 1003},
+		{"din", 16, 998, 997},
+		{"cs1", 6.4, 8634, 3066},
+		{"cs1", 8, 8630, 1628},
+		{"cs1", 12, 1141, 1141},
+		{"cs2", 6.4, 11785, 9680},
+		{"cs2", 16, 11647, 5597},
+		{"cs3", 6.4, 6575, 4394},
+		{"cs3", 16, 1728, 1733},
+		{"gli", 6.4, 10435, 8870},
+		{"gli", 16, 7508, 6275},
+		{"ldk", 6.4, 5395, 5011},
+		{"ldk", 16, 5390, 3898},
+		{"pjn", 6.4, 7166, 5800},
+		{"pjn", 16, 5257, 4993},
+		{"sort", 6.4, 14670, 12462},
+		{"sort", 16, 14520, 9460},
+	}
+	const tolerance = 0.30 // 30% on absolute counts; shape asserted below
+	for _, r := range rows {
+		_, obl := runSingle(appFactories[r.app](), r.mb, cache.GlobalLRU, workload.Oblivious)
+		_, smart := runSingle(appFactories[r.app](), r.mb, cache.LRUSP, workload.Smart)
+		checks := []struct {
+			label string
+			got   int64
+			want  int64
+		}{
+			{"original", obl.BlockIOs(), r.orig},
+			{"lru-sp", smart.BlockIOs(), r.lrusp},
+		}
+		for _, c := range checks {
+			lo := float64(c.want) * (1 - tolerance)
+			hi := float64(c.want) * (1 + tolerance)
+			if f := float64(c.got); f < lo || f > hi {
+				t.Errorf("%s @%.1fMB %s: I/Os %d, paper %d (outside ±%.0f%%)",
+					r.app, r.mb, c.label, c.got, c.want, tolerance*100)
+			}
+		}
+		// Shape: the measured improvement ratio must be on the same
+		// side and within 0.15 of the paper's ratio.
+		paperRatio := float64(r.lrusp) / float64(r.orig)
+		gotRatio := float64(smart.BlockIOs()) / float64(obl.BlockIOs())
+		if diff := gotRatio - paperRatio; diff > 0.15 || diff < -0.15 {
+			t.Errorf("%s @%.1fMB: I/O ratio %.2f, paper %.2f", r.app, r.mb, gotRatio, paperRatio)
+		}
+	}
+}
+
+func TestReadNConstructors(t *testing.T) {
+	bg := workload.Read300(1)
+	if bg.Name() != "read300" || bg.DefaultDisk() != 1 {
+		t.Errorf("Read300 = %s on disk %d", bg.Name(), bg.DefaultDisk())
+	}
+	pr := workload.Probe(490, 0)
+	if pr.Name() != "read490" || pr.DefaultDisk() != 0 {
+		t.Errorf("Probe = %s on disk %d", pr.Name(), pr.DefaultDisk())
+	}
+	// A probe's file is 1170 blocks: compulsory misses alone.
+	_, st := runSingle(pr, 64, cache.GlobalLRU, workload.Oblivious)
+	if st.BlockIOs() != 1170 {
+		t.Errorf("probe compulsory I/Os = %d, want 1170", st.BlockIOs())
+	}
+}
+
+func TestLaunchIsolation(t *testing.T) {
+	// Two different apps on one system keep separate namespaces and
+	// stats.
+	cfg := core.DefaultConfig()
+	sys := core.NewSystem(cfg)
+	p1 := workload.Launch(sys, workload.Dinero(), workload.Smart)
+	p2 := workload.Launch(sys, workload.Cscope1(), workload.Smart)
+	sys.Run()
+	if p1.Name() != "din" || p2.Name() != "cs1" {
+		t.Errorf("names = %s, %s", p1.Name(), p2.Name())
+	}
+	if p1.Stats().BlockIOs() == 0 || p2.Stats().BlockIOs() == 0 {
+		t.Error("a workload did no I/O")
+	}
+}
+
+func TestFoolishModeOnlyAffectsReadN(t *testing.T) {
+	// Foolish mode on ReadN installs an MRU manager; its behaviour was
+	// verified elsewhere; here: it must actually enable control.
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = core.MB(6.4)
+	sys := core.NewSystem(cfg)
+	p := workload.Launch(sys, workload.Read300(0), workload.Foolish)
+	sys.Run()
+	if !p.Controlled() {
+		t.Error("foolish ReadN did not enable control")
+	}
+}
