@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all test race bench experiments charts fuzz clean
+.PHONY: all check test vet race bench bench-json experiments charts fuzz clean outputs
 
-all: test
+all: check
+
+# The default gate: static checks, then the test suite.
+check: vet test
+
+vet:
+	$(GO) vet ./...
 
 test:
-	$(GO) vet ./...
 	$(GO) test ./...
 
 race:
@@ -13,6 +18,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable experiment timings + run-cache stats (BENCH trajectory).
+bench-json:
+	$(GO) run ./cmd/acbench -run all -json > BENCH_acbench.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -252,7 +252,7 @@ func BenchmarkPolicies(b *testing.B) {
 // BenchmarkVM runs the Section 7 virtual-memory transfer experiment.
 func BenchmarkVM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables := expt.VM()
+		tables := expt.VM(nil)
 		if len(tables) != 1 {
 			b.Fatal("vm experiment shape changed")
 		}

@@ -6,7 +6,26 @@
 // Usage:
 //
 //	acbench [-run all|fig4|fig5|fig6|table1|table2|table3|table4|ablation]
-//	        [-sizes 6.4,8,12,16]
+//	        [-sizes 6.4,8,12,16] [-parallel N] [-json] [-charts]
+//
+// -parallel N runs up to N independent simulations concurrently (default
+// GOMAXPROCS; 1 selects the legacy serial path). Every simulation is a
+// deterministic function of its spec and results are always assembled in
+// presentation order, so the rendered output is byte-identical at any
+// parallelism; values below 1 are rejected. Specs shared between
+// experiments (the normalization baselines of fig5/fig6, the
+// table2/table3 partner runs) are memoized and execute once per
+// invocation.
+//
+// -json replaces the tables on stdout with a machine-readable report:
+// per-experiment wall-clock timings, the total, the parallelism, and the
+// run-cache hit/miss/bypass counters.
+//
+// -charts renders Figures 4-6 as ASCII bar charts instead of tables. It
+// honors -parallel and -sizes (the chart runs go through the same
+// scheduler and run cache), ignores -run (charts always cover exactly
+// Figures 4-6), and rejects -json, which applies to the table pipeline
+// only.
 //
 // Block I/O counts should land close to the paper's; elapsed times are
 // produced by a calibrated CPU/disk model and should match in shape
@@ -14,29 +33,58 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/expt"
 )
+
+// expTiming is one experiment's wall-clock cost in the -json report.
+type expTiming struct {
+	ID     string  `json:"id"`
+	Millis float64 `json:"wall_ms"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Run         string           `json:"run"`
+	Parallelism int              `json:"parallelism"`
+	Experiments []expTiming      `json:"experiments"`
+	TotalMillis float64          `json:"total_wall_ms"`
+	RunCache    expt.RunnerStats `json:"run_cache"`
+}
 
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+strings.Join(expt.Order, ", "))
 	sizesFlag := flag.String("sizes", "", "comma-separated cache sizes in MB for fig4/fig5/fig6 (default: the paper's 6.4,8,12,16)")
 	chartsFlag := flag.Bool("charts", false, "render Figures 4-6 as ASCII bar charts instead of tables")
+	parallelFlag := flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS; 1 = serial)")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable timings and run-cache stats instead of tables")
 	flag.Parse()
 
+	if isSet("parallel") && *parallelFlag < 1 {
+		fmt.Fprintf(os.Stderr, "acbench: -parallel must be >= 1 (got %d)\n", *parallelFlag)
+		os.Exit(2)
+	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acbench:", err)
 		os.Exit(2)
 	}
+	runner := expt.NewRunner(*parallelFlag)
 
 	if *chartsFlag {
-		for _, c := range expt.Charts(sizes) {
+		if *jsonFlag {
+			fmt.Fprintln(os.Stderr, "acbench: -charts cannot be combined with -json")
+			os.Exit(2)
+		}
+		for _, c := range expt.Charts(runner, sizes) {
 			c.Render(os.Stdout)
 		}
 		return
@@ -52,22 +100,54 @@ func main() {
 		ids = []string{*runFlag}
 	}
 
+	report := jsonReport{Run: *runFlag, Parallelism: runner.Parallelism()}
+	out := io.Writer(os.Stdout)
+	if *jsonFlag {
+		out = io.Discard
+	}
+	start := time.Now()
 	for _, id := range ids {
+		expStart := time.Now()
 		var tables []expt.Table
 		switch {
 		case sizes != nil && id == "fig4":
-			tables = expt.Fig4(sizes)
+			tables = expt.Fig4(runner, sizes)
 		case sizes != nil && id == "fig5":
-			tables = expt.Fig5(sizes)
+			tables = expt.Fig5(runner, sizes)
 		case sizes != nil && id == "fig6":
-			tables = expt.Fig6(sizes)
+			tables = expt.Fig6(runner, sizes)
 		default:
-			tables = expt.Experiments[id]()
+			tables = expt.Experiments[id](runner)
 		}
 		for i := range tables {
-			tables[i].Render(os.Stdout)
+			tables[i].Render(out)
+		}
+		report.Experiments = append(report.Experiments,
+			expTiming{ID: id, Millis: float64(time.Since(expStart)) / float64(time.Millisecond)})
+	}
+	report.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	report.RunCache = runner.Stats()
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "acbench:", err)
+			os.Exit(1)
 		}
 	}
+}
+
+// isSet reports whether the named flag appeared on the command line (so
+// "-parallel 0" is rejected rather than silently meaning GOMAXPROCS).
+func isSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func parseSizes(s string) ([]float64, error) {

@@ -83,11 +83,12 @@ func ChartFromTable(t Table, id, title string, labelCols []int, valueCol int) Ch
 }
 
 // Charts regenerates the paper's three figures as ASCII bar charts from
-// the corresponding experiment tables.
-func Charts(sizes []float64) []Chart {
-	fig4 := Fig4(sizes)
-	fig5 := Fig5(sizes)
-	fig6 := Fig6(sizes)
+// the corresponding experiment tables, submitting runs through r (the
+// Figure 5 LRU-SP runs memoize into Figure 6's normalization columns).
+func Charts(r *Runner, sizes []float64) []Chart {
+	fig4 := Fig4(r, sizes)
+	fig5 := Fig5(r, sizes)
+	fig6 := Fig6(r, sizes)
 	return []Chart{
 		ChartFromTable(fig4[0], "fig4-elapsed",
 			"Normalized elapsed time, LRU-SP vs original kernel (bars; | marks 1.0)",

@@ -14,8 +14,12 @@ import (
 	"repro/internal/workload"
 )
 
-// AppSpec is one application in a mix.
+// AppSpec is one application in a mix. Name identifies what Make builds
+// for the Runner's memo cache; it must be unique per distinct workload
+// (constructor plus parameters). An empty Name is allowed but makes any
+// spec containing it uncacheable.
 type AppSpec struct {
+	Name string
 	Make func() workload.App
 	Mode workload.Mode
 }
@@ -75,18 +79,26 @@ type RunStats struct {
 }
 
 // RunRepeated executes the spec n times with seeds 1..n and aggregates
-// elapsed-time statistics. It panics if the I/O counts differ across
-// seeds, which would mean the seed leaked into a reference stream.
-func RunRepeated(spec RunSpec, n int) RunStats {
+// elapsed-time statistics. The seed repeats are independent simulations,
+// so they are submitted to the Runner together and collected in seed
+// order (r may be nil for the inline serial path). It panics if the I/O
+// counts differ across seeds, which would mean the seed leaked into a
+// reference stream.
+func RunRepeated(r *Runner, spec RunSpec, n int) RunStats {
 	if n <= 0 {
 		n = 1
 	}
-	var total sim.Time
-	var times []sim.Time
-	var ios int64 = -1
+	futs := make([]*Future, 0, n)
 	for i := 0; i < n; i++ {
-		spec.Seed = uint64(i + 1)
-		res := Run(spec)
+		s := spec
+		s.Seed = uint64(i + 1)
+		futs = append(futs, r.Submit(s))
+	}
+	var total sim.Time
+	times := make([]sim.Time, 0, n)
+	var ios int64 = -1
+	for _, f := range futs {
+		res := f.Wait()
 		times = append(times, res.TotalElapsed)
 		total += res.TotalElapsed
 		if ios >= 0 && res.TotalIOs != ios {
@@ -97,6 +109,11 @@ func RunRepeated(spec RunSpec, n int) RunStats {
 	mean := total / sim.Time(n)
 	var worst float64
 	for _, t := range times {
+		if mean == 0 {
+			// Degenerate zero-length runs: every repeat elapsed 0, so
+			// deviation is 0, not NaN.
+			break
+		}
 		d := float64(t-mean) / float64(mean)
 		if d < 0 {
 			d = -d
@@ -132,15 +149,18 @@ func Run(spec RunSpec) RunResult {
 	}
 	cfg.Trace = spec.Trace
 	sys := core.NewSystem(cfg)
-	var procs []*core.Proc
-	var apps []workload.App
+	procs := make([]*core.Proc, 0, len(spec.Apps))
+	apps := make([]workload.App, 0, len(spec.Apps))
 	for _, as := range spec.Apps {
 		a := as.Make()
 		apps = append(apps, a)
 		procs = append(procs, workload.Launch(sys, a, as.Mode))
 	}
 	sys.Run()
-	res := RunResult{CacheStats: sys.Cache().Stats()}
+	res := RunResult{
+		CacheStats: sys.Cache().Stats(),
+		PerApp:     make([]AppResult, 0, len(procs)),
+	}
 	for i := 0; i < 2; i++ {
 		if q := sys.Disk(i).Stats().MaxQueue; q > res.MaxQueue {
 			res.MaxQueue = q
@@ -181,15 +201,23 @@ var Registry = map[string]func() workload.App{
 }
 
 // mixSpec builds the AppSpecs for a named mix like "cs2+gli", every app in
-// the given mode.
+// the given mode. Registry names double as cache-fingerprint names.
 func mixSpec(names []string, mode workload.Mode) []AppSpec {
-	var out []AppSpec
+	out := make([]AppSpec, 0, len(names))
 	for _, n := range names {
 		mk, ok := Registry[n]
 		if !ok {
 			panic(fmt.Sprintf("expt: unknown workload %q", n))
 		}
-		out = append(out, AppSpec{Make: mk, Mode: mode})
+		out = append(out, AppSpec{Name: n, Make: mk, Mode: mode})
 	}
 	return out
+}
+
+// namedApp builds an AppSpec for an ad-hoc workload constructor; name
+// must uniquely encode the constructor and its parameters (e.g.
+// "read300@d1", "probe490@d0") so the Runner's memo cache never
+// conflates two different workloads.
+func namedApp(name string, mk func() workload.App, mode workload.Mode) AppSpec {
+	return AppSpec{Name: name, Make: mk, Mode: mode}
 }

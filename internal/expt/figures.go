@@ -9,6 +9,12 @@ import (
 	"repro/internal/workload"
 )
 
+// The experiment drivers all follow the same two-phase shape: submit
+// every RunSpec to the Runner up front (so a parallel Runner can keep all
+// its workers busy), then collect results in the fixed presentation order
+// while assembling rows. Each simulation is deterministic, so the
+// rendered tables are byte-identical regardless of parallelism.
+
 // sizeIdx maps a cache size to its index in Sizes (for paper lookups).
 func sizeIdx(mb float64) int {
 	for i, s := range Sizes {
@@ -23,7 +29,7 @@ func sizeIdx(mb float64) int {
 // application under the original kernel and under LRU-SP with its smart
 // policy, across the four cache sizes. It returns the elapsed-time table
 // and the block-I/O table.
-func Fig4(sizes []float64) []Table {
+func Fig4(r *Runner, sizes []float64) []Table {
 	if sizes == nil {
 		sizes = Sizes
 	}
@@ -41,16 +47,27 @@ func Fig4(sizes []float64) []Table {
 			"stream and replacement policy, so sim and paper should be close.",
 		Header: []string{"app", "MB", "sim orig", "sim sp", "sim ratio", "paper orig", "paper sp", "paper ratio"},
 	}
+	type cell struct{ orig, sp *Future }
+	cells := make([]cell, 0, len(singleApps)*len(sizes))
 	for _, app := range singleApps {
 		for _, mb := range sizes {
-			orig := Run(RunSpec{
-				Apps:    mixSpec([]string{app}, workload.Oblivious),
-				CacheMB: mb, Alloc: cache.GlobalLRU,
+			cells = append(cells, cell{
+				orig: r.Submit(RunSpec{
+					Apps:    mixSpec([]string{app}, workload.Oblivious),
+					CacheMB: mb, Alloc: cache.GlobalLRU,
+				}),
+				sp: r.Submit(RunSpec{
+					Apps:    mixSpec([]string{app}, workload.Smart),
+					CacheMB: mb, Alloc: cache.LRUSP,
+				}),
 			})
-			sp := Run(RunSpec{
-				Apps:    mixSpec([]string{app}, workload.Smart),
-				CacheMB: mb, Alloc: cache.LRUSP,
-			})
+		}
+	}
+	ci := 0
+	for _, app := range singleApps {
+		for _, mb := range sizes {
+			orig, sp := cells[ci].orig.Wait(), cells[ci].sp.Wait()
+			ci++
 			oe, se := orig.TotalElapsed.Seconds(), sp.TotalElapsed.Seconds()
 			oi, si := orig.TotalIOs, sp.TotalIOs
 			pRow, havePaper := PaperSingles[app], sizeIdx(mb) >= 0
@@ -80,7 +97,7 @@ func Fig4(sizes []float64) []Table {
 // Fig5 reproduces Figure 5: the nine concurrent-application mixes under
 // the original kernel (all oblivious) and LRU-SP (all smart), reporting
 // totals normalized to the original kernel.
-func Fig5(sizes []float64) []Table {
+func Fig5(r *Runner, sizes []float64) []Table {
 	if sizes == nil {
 		sizes = Sizes
 	}
@@ -93,11 +110,22 @@ func Fig5(sizes []float64) []Table {
 			"0.7 for elapsed time and below 0.6 for I/Os at 16 MB.",
 		Header: []string{"mix", "MB", "orig s", "sp s", "elapsed ratio", "orig IOs", "sp IOs", "IO ratio"},
 	}
+	type cell struct{ orig, sp *Future }
+	var cells []cell
+	for _, mix := range Fig5Mixes {
+		for _, mb := range sizes {
+			cells = append(cells, cell{
+				orig: r.Submit(RunSpec{Apps: mixSpec(mix, workload.Oblivious), CacheMB: mb, Alloc: cache.GlobalLRU}),
+				sp:   r.Submit(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.LRUSP}),
+			})
+		}
+	}
+	ci := 0
 	for _, mix := range Fig5Mixes {
 		name := strings.Join(mix, "+")
 		for _, mb := range sizes {
-			orig := Run(RunSpec{Apps: mixSpec(mix, workload.Oblivious), CacheMB: mb, Alloc: cache.GlobalLRU})
-			sp := Run(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.LRUSP})
+			orig, sp := cells[ci].orig.Wait(), cells[ci].sp.Wait()
+			ci++
 			t.Rows = append(t.Rows, []string{
 				name, fmt.Sprint(mb),
 				fmtSecs(orig.TotalElapsed.Seconds()), fmtSecs(sp.TotalElapsed.Seconds()),
@@ -112,8 +140,9 @@ func Fig5(sizes []float64) []Table {
 
 // Fig6 reproduces Figure 6: the five mixes re-run with ALLOC-LRU (two-
 // level replacement without swapping or placeholders), normalized to
-// LRU-SP.
-func Fig6(sizes []float64) []Table {
+// LRU-SP. The LRU-SP runs are spec-identical to Figure 5's, so under a
+// caching Runner they are memo hits, not re-executions.
+func Fig6(r *Runner, sizes []float64) []Table {
 	if sizes == nil {
 		sizes = Sizes
 	}
@@ -125,11 +154,22 @@ func Fig6(sizes []float64) []Table {
 			"processes, the paper's argument that swapping is necessary.",
 		Header: []string{"mix", "MB", "sp s", "alloc-lru s", "elapsed ratio", "sp IOs", "alloc-lru IOs", "IO ratio"},
 	}
+	type cell struct{ sp, al *Future }
+	var cells []cell
+	for _, mix := range Fig6Mixes {
+		for _, mb := range sizes {
+			cells = append(cells, cell{
+				sp: r.Submit(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.LRUSP}),
+				al: r.Submit(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.AllocLRU}),
+			})
+		}
+	}
+	ci := 0
 	for _, mix := range Fig6Mixes {
 		name := strings.Join(mix, "+")
 		for _, mb := range sizes {
-			sp := Run(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.LRUSP})
-			al := Run(RunSpec{Apps: mixSpec(mix, workload.Smart), CacheMB: mb, Alloc: cache.AllocLRU})
+			sp, al := cells[ci].sp.Wait(), cells[ci].al.Wait()
+			ci++
 			t.Rows = append(t.Rows, []string{
 				name, fmt.Sprint(mb),
 				fmtSecs(sp.TotalElapsed.Seconds()), fmtSecs(al.TotalElapsed.Seconds()),
@@ -156,8 +196,8 @@ func table1Spec(n int32, setting string) RunSpec {
 	}
 	return RunSpec{
 		Apps: []AppSpec{
-			{Make: func() workload.App { return workload.Read300(0) }, Mode: bgMode},
-			{Make: func() workload.App { return workload.Probe(n, 0) }, Mode: workload.Oblivious},
+			namedApp("read300@d0", func() workload.App { return workload.Read300(0) }, bgMode),
+			namedApp(fmt.Sprintf("probe%d@d0", n), func() workload.App { return workload.Probe(n, 0) }, workload.Oblivious),
 		},
 		CacheMB: 6.4,
 		Alloc:   alloc,
@@ -167,7 +207,7 @@ func table1Spec(n int32, setting string) RunSpec {
 // Table1 reproduces the placeholder-effectiveness experiment: an oblivious
 // probe ReadN next to a background Read300 that is either oblivious (LRU)
 // or foolish (MRU), with and without placeholders.
-func Table1() []Table {
+func Table1(r *Runner) []Table {
 	t := Table{
 		ID:    "table1",
 		Title: "Are placeholders necessary? Probe ReadN next to Read300 (Table 1)",
@@ -177,9 +217,17 @@ func Table1() []Table {
 			"pull the probe's I/Os back down to the oblivious level.",
 		Header: []string{"setting", "N", "sim s", "paper s", "sim IOs", "paper IOs"},
 	}
+	var futs []*Future
+	for _, setting := range PaperTable1.Settings {
+		for _, n := range PaperTable1.Ns {
+			futs = append(futs, r.Submit(table1Spec(n, setting)))
+		}
+	}
+	fi := 0
 	for _, setting := range PaperTable1.Settings {
 		for i, n := range PaperTable1.Ns {
-			res := Run(table1Spec(n, setting))
+			res := futs[fi].Wait()
+			fi++
 			probe := res.PerApp[1]
 			t.Rows = append(t.Rows, []string{
 				setting, fmt.Sprint(n),
@@ -193,7 +241,7 @@ func Table1() []Table {
 
 // Table2 reproduces the foolish-process experiment: each smart application
 // concurrently with a Read300 that is oblivious or foolish, one disk.
-func Table2() []Table {
+func Table2(r *Runner) []Table {
 	t := Table{
 		ID:    "table2",
 		Title: "Effect of a foolish process on smart applications (Table 2)",
@@ -203,20 +251,28 @@ func Table2() []Table {
 			"placeholders bound the damage.",
 		Header: []string{"app", "Read300", "sim s", "paper s", "sim IOs", "paper IOs"},
 	}
+	var futs []*Future
 	for _, policy := range []string{"Oblivious", "Foolish"} {
-		for i, partner := range PaperTable2.Partners {
+		for _, partner := range PaperTable2.Partners {
 			bgMode := workload.Oblivious
 			if policy == "Foolish" {
 				bgMode = workload.Foolish
 			}
-			res := Run(RunSpec{
+			futs = append(futs, r.Submit(RunSpec{
 				Apps: []AppSpec{
-					{Make: Registry[partner], Mode: workload.Smart},
-					{Make: func() workload.App { return workload.Read300(0) }, Mode: bgMode},
+					{Name: partner, Make: Registry[partner], Mode: workload.Smart},
+					namedApp("read300@d0", func() workload.App { return workload.Read300(0) }, bgMode),
 				},
 				CacheMB: 6.4,
 				Alloc:   cache.LRUSP,
-			})
+			}))
+		}
+	}
+	fi := 0
+	for _, policy := range []string{"Oblivious", "Foolish"} {
+		for i, partner := range PaperTable2.Partners {
+			res := futs[fi].Wait()
+			fi++
 			app := res.PerApp[0]
 			t.Rows = append(t.Rows, []string{
 				partner, strings.ToLower(policy),
@@ -229,8 +285,10 @@ func Table2() []Table {
 }
 
 // table34 runs the smart-vs-oblivious-partner experiment with Read300 on
-// the given disk (0 reproduces Table 3, 1 reproduces Table 4).
-func table34(id, title string, readDisk int, paper map[string][4]float64, partners []string) Table {
+// the given disk (0 reproduces Table 3, 1 reproduces Table 4). The
+// partner-smart runs on disk 0 are spec-identical to Table 2's oblivious
+// rows, another memo-cache overlap.
+func table34(r *Runner, id, title string, readDisk int, paper map[string][4]float64, partners []string) Table {
 	t := Table{
 		ID:     id,
 		Title:  title,
@@ -239,18 +297,26 @@ func table34(id, title string, readDisk int, paper map[string][4]float64, partne
 			"oblivious vs smart. Smart partners must not hurt oblivious " +
 			"processes; on one disk they generally help by reducing disk load.",
 	}
-	for i, partner := range partners {
-		var secs [2]float64
+	var futs [][2]*Future
+	for _, partner := range partners {
+		var pair [2]*Future
 		for j, partnerMode := range []workload.Mode{workload.Oblivious, workload.Smart} {
-			res := Run(RunSpec{
+			pair[j] = r.Submit(RunSpec{
 				Apps: []AppSpec{
-					{Make: Registry[partner], Mode: partnerMode},
-					{Make: func() workload.App { return workload.Read300(readDisk) }, Mode: workload.Oblivious},
+					{Name: partner, Make: Registry[partner], Mode: partnerMode},
+					namedApp(fmt.Sprintf("read300@d%d", readDisk),
+						func() workload.App { return workload.Read300(readDisk) }, workload.Oblivious),
 				},
 				CacheMB: 6.4,
 				Alloc:   cache.LRUSP,
 			})
-			secs[j] = res.PerApp[1].Elapsed.Seconds()
+		}
+		futs = append(futs, pair)
+	}
+	for i, partner := range partners {
+		var secs [2]float64
+		for j := range secs {
+			secs[j] = futs[i][j].Wait().PerApp[1].Elapsed.Seconds()
 		}
 		t.Rows = append(t.Rows, []string{
 			partner,
@@ -263,23 +329,23 @@ func table34(id, title string, readDisk int, paper map[string][4]float64, partne
 
 // Table3 reproduces the do-smart-processes-hurt-oblivious-ones experiment
 // on one disk.
-func Table3() []Table {
-	return []Table{table34("table3",
+func Table3(r *Runner) []Table {
+	return []Table{table34(r, "table3",
 		"Elapsed time of oblivious Read300 with oblivious vs smart partners, one disk (Table 3)",
 		0, PaperTable3.Elapsed, PaperTable3.Partners)}
 }
 
 // Table4 reproduces the same experiment with Read300 on its own disk,
 // where the paper's disk-contention anomaly disappears.
-func Table4() []Table {
-	return []Table{table34("table4",
+func Table4(r *Runner) []Table {
+	return []Table{table34(r, "table4",
 		"Elapsed time of oblivious Read300 with oblivious vs smart partners, two disks (Table 4)",
 		1, PaperTable4.Elapsed, PaperTable4.Partners)}
 }
 
 // Ablation exercises the design extensions: revocation of foolish
 // managers (the paper's footnote 7) and the contribution of read-ahead.
-func Ablation() []Table {
+func Ablation(r *Runner) []Table {
 	rev := Table{
 		ID:    "ablation-revoke",
 		Title: "Revocation of foolish managers (paper footnote 7, implemented)",
@@ -303,16 +369,20 @@ func Ablation() []Table {
 		{"lru-sp+revoke, foolish bg", cache.LRUSP,
 			cache.RevokeConfig{Enabled: true, MinDecisions: 200, MistakeRatio: 0.3}, workload.Foolish},
 	}
+	var revFuts []*Future
 	for _, v := range variants {
-		res := Run(RunSpec{
+		revFuts = append(revFuts, r.Submit(RunSpec{
 			Apps: []AppSpec{
-				{Make: func() workload.App { return workload.Read300(0) }, Mode: v.bgMode},
-				{Make: func() workload.App { return workload.Probe(400, 0) }, Mode: workload.Oblivious},
+				namedApp("read300@d0", func() workload.App { return workload.Read300(0) }, v.bgMode),
+				namedApp("probe400@d0", func() workload.App { return workload.Probe(400, 0) }, workload.Oblivious),
 			},
 			CacheMB: 6.4,
 			Alloc:   v.alloc,
 			Revoke:  v.revoke,
-		})
+		}))
+	}
+	for i, v := range variants {
+		res := revFuts[i].Wait()
 		rev.Rows = append(rev.Rows, []string{
 			v.name,
 			fmt.Sprint(res.PerApp[1].BlockIOs), fmtSecs(res.PerApp[1].Elapsed.Seconds()),
@@ -331,20 +401,34 @@ func Ablation() []Table {
 			"these sequential workloads.",
 		Header: []string{"app", "kernel", "depth", "IOs", "elapsed s"},
 	}
+	var raFuts []*Future
 	for _, app := range []string{"din", "sort"} {
 		for _, smart := range []bool{false, true} {
 			for _, depth := range []int{0, 1, 2, 4} {
-				mode, alloc, kernel := workload.Oblivious, cache.GlobalLRU, "original"
+				mode, alloc := workload.Oblivious, cache.GlobalLRU
 				if smart {
-					mode, alloc, kernel = workload.Smart, cache.LRUSP, "lru-sp"
+					mode, alloc = workload.Smart, cache.LRUSP
 				}
-				res := Run(RunSpec{
+				raFuts = append(raFuts, r.Submit(RunSpec{
 					Apps:           mixSpec([]string{app}, mode),
 					CacheMB:        6.4,
 					Alloc:          alloc,
 					ReadAheadOff:   depth == 0,
 					ReadAheadDepth: depth,
-				})
+				}))
+			}
+		}
+	}
+	fi := 0
+	for _, app := range []string{"din", "sort"} {
+		for _, smart := range []bool{false, true} {
+			for _, depth := range []int{0, 1, 2, 4} {
+				kernel := "original"
+				if smart {
+					kernel = "lru-sp"
+				}
+				res := raFuts[fi].Wait()
+				fi++
 				ra.Rows = append(ra.Rows, []string{
 					app, kernel, fmt.Sprint(depth),
 					fmt.Sprint(res.TotalIOs), fmtSecs(res.TotalElapsed.Seconds()),
@@ -368,7 +452,7 @@ func Ablation() []Table {
 			if smart {
 				mode, alloc, kernel = workload.Smart, cache.LRUSP, "lru-sp"
 			}
-			st := RunRepeated(RunSpec{
+			st := RunRepeated(r, RunSpec{
 				Apps:    mixSpec([]string{app}, mode),
 				CacheMB: 6.4,
 				Alloc:   alloc,
@@ -395,6 +479,22 @@ func Ablation() []Table {
 			"the paper's final section leaves open.",
 		Header: []string{"scheduler", "update policy", "read300 s", "sort s", "max queue"},
 	}
+	var upFuts []*Future
+	for _, fifo := range []bool{true, false} {
+		for _, spread := range []bool{false, true} {
+			upFuts = append(upFuts, r.Submit(RunSpec{
+				Apps: []AppSpec{
+					{Name: "sort", Make: Registry["sort"], Mode: workload.Smart},
+					namedApp("read300@d1", func() workload.App { return workload.Read300(1) }, workload.Oblivious),
+				},
+				CacheMB:    6.4,
+				Alloc:      cache.LRUSP,
+				SpreadSync: spread,
+				FIFODisk:   fifo,
+			}))
+		}
+	}
+	fi = 0
 	for _, fifo := range []bool{true, false} {
 		for _, spread := range []bool{false, true} {
 			sname := "c-look"
@@ -405,16 +505,8 @@ func Ablation() []Table {
 			if spread {
 				name = "spread"
 			}
-			res := Run(RunSpec{
-				Apps: []AppSpec{
-					{Make: Registry["sort"], Mode: workload.Smart},
-					{Make: func() workload.App { return workload.Read300(1) }, Mode: workload.Oblivious},
-				},
-				CacheMB:    6.4,
-				Alloc:      cache.LRUSP,
-				SpreadSync: spread,
-				FIFODisk:   fifo,
-			})
+			res := upFuts[fi].Wait()
+			fi++
 			up.Rows = append(up.Rows, []string{
 				sname, name,
 				fmtSecs(res.PerApp[1].Elapsed.Seconds()), fmtSecs(res.PerApp[0].Elapsed.Seconds()),
@@ -432,20 +524,30 @@ func Ablation() []Table {
 			"overhead band on the consultation-heavy workloads.",
 		Header: []string{"app", "control", "consults", "elapsed s", "overhead"},
 	}
+	var ucFuts []*Future
 	for _, app := range []string{"din", "cs2", "sort"} {
-		var base float64
 		for _, upcall := range []bool{false, true} {
 			spec := RunSpec{
 				Apps:    mixSpec([]string{app}, workload.Smart),
 				CacheMB: 6.4,
 				Alloc:   cache.LRUSP,
 			}
+			if upcall {
+				spec.UpcallCPU = sim.Millisecond
+			}
+			ucFuts = append(ucFuts, r.Submit(spec))
+		}
+	}
+	fi = 0
+	for _, app := range []string{"din", "cs2", "sort"} {
+		var base float64
+		for _, upcall := range []bool{false, true} {
 			name := "primitives"
 			if upcall {
 				name = "upcalls"
-				spec.UpcallCPU = sim.Millisecond
 			}
-			res := Run(spec)
+			res := ucFuts[fi].Wait()
+			fi++
 			secs := res.TotalElapsed.Seconds()
 			overhead := ""
 			if upcall {
@@ -462,17 +564,19 @@ func Ablation() []Table {
 	return []Table{rev, ra, vr, up, uc}
 }
 
-// Experiments maps experiment ids to their drivers (full sizes).
-var Experiments = map[string]func() []Table{
-	"fig4":     func() []Table { return Fig4(nil) },
-	"fig5":     func() []Table { return Fig5(nil) },
-	"fig6":     func() []Table { return Fig6(nil) },
+// Experiments maps experiment ids to their drivers (full sizes). Every
+// driver takes the Runner its specs are submitted through; nil runs
+// serially without memoization.
+var Experiments = map[string]func(*Runner) []Table{
+	"fig4":     func(r *Runner) []Table { return Fig4(r, nil) },
+	"fig5":     func(r *Runner) []Table { return Fig5(r, nil) },
+	"fig6":     func(r *Runner) []Table { return Fig6(r, nil) },
 	"table1":   Table1,
 	"table2":   Table2,
 	"table3":   Table3,
 	"table4":   Table4,
 	"ablation": Ablation,
-	"policies": func() []Table { return Policies(nil) },
+	"policies": func(r *Runner) []Table { return Policies(r, nil) },
 	"vm":       VM,
 }
 

@@ -9,28 +9,37 @@ import (
 	"repro/internal/workload"
 )
 
-// CaptureTrace runs one application alone (oblivious, original kernel) and
-// returns its block reference stream.
-func CaptureTrace(app string) *trace.Trace {
-	tr := &trace.Trace{}
-	Run(RunSpec{
+// captureSpec is the one-app traced run CaptureTrace performs. The Trace
+// callback makes it uncacheable by design: the per-access events escape
+// through the callback, which would never fire again on a memo hit.
+func captureSpec(app string, tr *trace.Trace) RunSpec {
+	return RunSpec{
 		Apps:    mixSpec([]string{app}, workload.Oblivious),
 		CacheMB: 6.4,
 		Alloc:   cache.GlobalLRU,
 		Trace: func(ev core.TraceEvent) {
 			tr.Append(ev.File, ev.Block)
 		},
-	})
+	}
+}
+
+// CaptureTrace runs one application alone (oblivious, original kernel) and
+// returns its block reference stream.
+func CaptureTrace(app string) *trace.Trace {
+	tr := &trace.Trace{}
+	Run(captureSpec(app, tr))
 	return tr
 }
 
 // Policies replays every workload's own reference stream through
 // standalone LRU, MRU and Belady-optimal caches at the paper's cache
-// sizes. The companion paper argues application policies should
-// approximate optimal replacement; this table shows how much headroom OPT
-// leaves over LRU for each access pattern, and how close the simple MRU
-// policy already comes for the cyclic ones.
-func Policies(sizes []float64) []Table {
+// sizes. The capture runs are independent, so they go through the Runner
+// (the trace replays themselves are cheap and stay inline). The companion
+// paper argues application policies should approximate optimal
+// replacement; this table shows how much headroom OPT leaves over LRU for
+// each access pattern, and how close the simple MRU policy already comes
+// for the cyclic ones.
+func Policies(r *Runner, sizes []float64) []Table {
 	if sizes == nil {
 		sizes = []float64{6.4, 16}
 	}
@@ -45,8 +54,15 @@ func Policies(sizes []float64) []Table {
 			"buffering) is the scan-resistant automatic alternative.",
 		Header: []string{"app", "MB", "refs", "unique", "LRU miss", "MRU miss", "LRU-2 miss", "OPT miss", "LRU/OPT"},
 	}
-	for _, app := range singleApps {
-		tr := CaptureTrace(app)
+	traces := make([]*trace.Trace, len(singleApps))
+	futs := make([]*Future, len(singleApps))
+	for i, app := range singleApps {
+		traces[i] = &trace.Trace{}
+		futs[i] = r.Submit(captureSpec(app, traces[i]))
+	}
+	for i, app := range singleApps {
+		futs[i].Wait() // the capture run fully populates traces[i]
+		tr := traces[i]
 		for _, mb := range sizes {
 			capacity := core.Config{CacheBytes: core.MB(mb)}.CacheBlocks()
 			res := trace.Compare(tr.Refs, capacity)

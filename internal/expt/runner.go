@@ -1,0 +1,195 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Runner schedules RunSpec executions across a pool of workers and
+// memoizes results. Every simulated machine is a deterministic pure
+// function of its RunSpec and runs on goroutines of its own, so
+// independent specs are embarrassingly parallel; the Runner exploits that
+// while drivers keep consuming results in their original, deterministic
+// order, which keeps rendered tables byte-identical to the serial path.
+//
+// Specs shared between experiments (the oblivious baselines reused for
+// normalization, the LRU-SP runs common to Figure 5 and Figure 6, ...)
+// execute exactly once per Runner: results are cached under a canonical
+// fingerprint of the spec. Specs that cannot be fingerprinted — a non-nil
+// Trace callback, whose results escape through a side channel, or an
+// AppSpec without a Name, whose constructor closure is opaque — bypass
+// the cache and always execute.
+//
+// A nil *Runner is valid everywhere a Runner is accepted: it runs every
+// spec inline, serially, with no cache — the legacy behavior.
+type Runner struct {
+	parallelism int
+	sem         chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*Future
+	stats RunnerStats
+}
+
+// RunnerStats counts scheduler activity. Executed is the number of
+// simulations actually run; Hits is the number of submissions served from
+// the memo cache; Misses counts cacheable submissions that had to run;
+// Bypasses counts uncacheable submissions (traced runs, unnamed apps).
+// Executed == Misses + Bypasses.
+type RunnerStats struct {
+	Executed int64 `json:"executed"`
+	Hits     int64 `json:"cache_hits"`
+	Misses   int64 `json:"cache_misses"`
+	Bypasses int64 `json:"cache_bypasses"`
+}
+
+// NewRunner returns a scheduler running up to parallelism simulations
+// concurrently. Parallelism <= 0 selects GOMAXPROCS; 1 selects the legacy
+// serial path (specs run inline on the consuming goroutine, still
+// memoized).
+func NewRunner(parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{
+		parallelism: parallelism,
+		cache:       make(map[string]*Future),
+	}
+	if parallelism > 1 {
+		r.sem = make(chan struct{}, parallelism)
+	}
+	return r
+}
+
+// Parallelism reports the worker-pool width (1 for the serial path and
+// for a nil Runner).
+func (r *Runner) Parallelism() int {
+	if r == nil {
+		return 1
+	}
+	return r.parallelism
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (r *Runner) Stats() RunnerStats {
+	if r == nil {
+		return RunnerStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Future is a pending (or completed) RunResult.
+type Future struct {
+	spec RunSpec
+	once sync.Once
+	done chan struct{}
+	res  RunResult
+}
+
+func (f *Future) run(r *Runner) {
+	f.once.Do(func() {
+		f.res = Run(f.spec)
+		if r != nil {
+			r.mu.Lock()
+			r.stats.Executed++
+			r.mu.Unlock()
+		}
+		close(f.done)
+	})
+}
+
+// Wait blocks until the result is available and returns it. On a serial
+// Runner the simulation executes inline on the calling goroutine, which
+// reproduces the legacy one-at-a-time execution order exactly.
+func (f *Future) Wait() RunResult {
+	<-f.done
+	return f.res
+}
+
+// Submit schedules spec for execution and returns its Future. Cacheable
+// specs already submitted to this Runner return the existing Future, so
+// the simulation runs at most once. On a nil Runner the spec executes
+// immediately, inline.
+func (r *Runner) Submit(spec RunSpec) *Future {
+	if r == nil {
+		f := &Future{spec: spec, done: make(chan struct{})}
+		f.res = Run(spec)
+		close(f.done)
+		return f
+	}
+	key, cacheable := fingerprint(spec)
+	r.mu.Lock()
+	if cacheable {
+		if f, ok := r.cache[key]; ok {
+			r.stats.Hits++
+			r.mu.Unlock()
+			return f
+		}
+		r.stats.Misses++
+	} else {
+		r.stats.Bypasses++
+	}
+	f := &Future{spec: spec, done: make(chan struct{})}
+	if cacheable {
+		r.cache[key] = f
+	}
+	r.mu.Unlock()
+	if r.sem != nil {
+		go func() {
+			r.sem <- struct{}{}
+			f.run(r)
+			<-r.sem
+		}()
+	} else {
+		// Serial path: execute now, on the submitting goroutine, so
+		// scheduling stays exactly the legacy depth-first order.
+		f.run(r)
+	}
+	return f
+}
+
+// RunVia is Submit followed by Wait: the drop-in replacement for Run at
+// call sites that need the result immediately.
+func (r *Runner) RunVia(spec RunSpec) RunResult {
+	return r.Submit(spec).Wait()
+}
+
+// defaultSeed is what core substitutes when RunSpec.Seed is zero; the
+// fingerprint normalizes Seed through it so "unset" and "explicitly the
+// default" memoize to the same run.
+var defaultSeed = core.DefaultConfig().Seed
+
+// fingerprint derives the canonical cache key for a spec. The boolean
+// reports cacheability: a spec with a Trace callback leaks per-access
+// events to the caller (the callback would not fire again on a cache
+// hit), and an AppSpec with an empty Name gives no way to identify what
+// its Make closure builds, so both bypass the cache. Every other RunSpec
+// field participates in the key — two specs that could ever produce
+// different results must never collide.
+func fingerprint(spec RunSpec) (string, bool) {
+	if spec.Trace != nil {
+		return "", false
+	}
+	var b strings.Builder
+	for _, a := range spec.Apps {
+		if a.Name == "" {
+			return "", false
+		}
+		fmt.Fprintf(&b, "%s/%d;", a.Name, a.Mode)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	fmt.Fprintf(&b, "|mb=%g|alloc=%d|seed=%d|rev=%t/%d/%g|raoff=%t|rad=%d|ss=%t|up=%d|fifo=%t",
+		spec.CacheMB, spec.Alloc, seed,
+		spec.Revoke.Enabled, spec.Revoke.MinDecisions, spec.Revoke.MistakeRatio,
+		spec.ReadAheadOff, spec.ReadAheadDepth, spec.SpreadSync, spec.UpcallCPU, spec.FIFODisk)
+	return b.String(), true
+}

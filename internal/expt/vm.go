@@ -30,7 +30,9 @@ func (m *vmMRUManager) MistakeCaught(vmclock.PageID, *vmclock.Page) {}
 // VM explores the paper's Section 7 conjecture that two-level replacement
 // transfers to virtual-memory page replacement: the same smart-process,
 // swapping, and placeholder questions are asked of a two-handed clock.
-func VM() []Table {
+// The clock experiments run no simulated machines, so the Runner is
+// unused; the parameter keeps VM in the common driver signature.
+func VM(*Runner) []Table {
 	t := Table{
 		ID:    "vm",
 		Title: "Two-level replacement on a two-handed clock (Section 7 conjecture)",

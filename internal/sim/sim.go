@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -51,23 +50,64 @@ type event struct {
 	proc *Proc
 }
 
+// before reports whether a fires strictly before b: earlier virtual time,
+// schedule order breaking ties.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap of events ordered by event.before. It is
+// typed end to end — unlike container/heap there is no interface boxing,
+// so push/pop allocate nothing in steady state (pushes reuse the slice's
+// capacity once it has grown to the simulation's high-water mark). The
+// engine's event loop runs one push and one pop per process wake-up,
+// which makes this the hottest data structure in the simulator.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push adds ev, sifting it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// pop removes and returns the earliest event. It panics on an empty heap.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the *Proc so the slice does not retain it
+	s = s[:n]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l].before(s[least]) {
+			least = l
+		}
+		if rt < n && s[rt].before(s[least]) {
+			least = rt
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	*h = s
+	return top
 }
 
 // Engine is a discrete-event simulation. The zero value is not usable; call
@@ -196,7 +236,7 @@ func (e *Engine) spawn(name string, at Time, body func(*Proc), daemon bool) *Pro
 
 func (e *Engine) schedule(at Time, p *Proc) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // errKilled is the sentinel panic value used to unwind abandoned daemon
@@ -217,7 +257,7 @@ func (e *Engine) Run() {
 	}
 	e.started = true
 	for e.nLive > 0 && len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		p := ev.proc
 		if p.state == Done {
 			continue // stale wake-up
