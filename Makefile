@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all check test vet race bench bench-json experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-json experiments charts fuzz clean outputs
 
 all: check
 
-# The default gate: static checks, then the test suite.
-check: vet test
+# The default gate: static checks, the test suite, then the race
+# detector over the packages with real cross-goroutine traffic (the
+# parallel scheduler and the simulations it drives).
+check: vet test race-hot
+
+race-hot:
+	$(GO) test -race ./internal/expt ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +23,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The BUF<->ACM hot-path microbenchmarks, repeated for benchstat: hit
+# path, two-level miss path, and the full evict/placeholder cycle.
+bench-cache:
+	$(GO) test ./internal/cache -run '^$$' -bench 'LookupHit|MissEvict|MissReplace' -benchmem -count 5
 
 # Machine-readable experiment timings + run-cache stats (BENCH trajectory).
 bench-json:

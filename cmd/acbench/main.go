@@ -7,6 +7,7 @@
 //
 //	acbench [-run all|fig4|fig5|fig6|table1|table2|table3|table4|ablation]
 //	        [-sizes 6.4,8,12,16] [-parallel N] [-json] [-charts]
+//	        [-cpuprofile file] [-memprofile file]
 //
 // -parallel N runs up to N independent simulations concurrently (default
 // GOMAXPROCS; 1 selects the legacy serial path). Every simulation is a
@@ -18,14 +19,20 @@
 // invocation.
 //
 // -json replaces the tables on stdout with a machine-readable report:
-// per-experiment wall-clock timings, the total, the parallelism, and the
-// run-cache hit/miss/bypass counters.
+// per-experiment wall-clock timings, totals, and run-cache
+// hit/miss/bypass counters, grouped per parallelism level under "runs".
+// Without an explicit -parallel, the suite is timed twice — serial and
+// at GOMAXPROCS — so the report captures the scheduler speedup; with
+// -parallel N it records that single level.
 //
 // -charts renders Figures 4-6 as ASCII bar charts instead of tables. It
 // honors -parallel and -sizes (the chart runs go through the same
 // scheduler and run cache), ignores -run (charts always cover exactly
 // Figures 4-6), and rejects -json, which applies to the table pipeline
 // only.
+//
+// -cpuprofile and -memprofile write pprof profiles (a CPU profile of the
+// whole run; a post-GC heap profile at exit) for feeding `go tool pprof`.
 //
 // Block I/O counts should land close to the paper's; elapsed times are
 // produced by a calibrated CPU/disk model and should match in shape
@@ -38,6 +45,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -51,43 +60,85 @@ type expTiming struct {
 	Millis float64 `json:"wall_ms"`
 }
 
-// jsonReport is the -json output document.
-type jsonReport struct {
-	Run         string           `json:"run"`
+// jsonRun is one full sweep of the requested experiments at a fixed
+// parallelism level.
+type jsonRun struct {
 	Parallelism int              `json:"parallelism"`
 	Experiments []expTiming      `json:"experiments"`
 	TotalMillis float64          `json:"total_wall_ms"`
 	RunCache    expt.RunnerStats `json:"run_cache"`
 }
 
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Run  string    `json:"run"`
+	Runs []jsonRun `json:"runs"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+strings.Join(expt.Order, ", "))
 	sizesFlag := flag.String("sizes", "", "comma-separated cache sizes in MB for fig4/fig5/fig6 (default: the paper's 6.4,8,12,16)")
 	chartsFlag := flag.Bool("charts", false, "render Figures 4-6 as ASCII bar charts instead of tables")
 	parallelFlag := flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS; 1 = serial)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable timings and run-cache stats instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
+	memProfile := flag.String("memprofile", "", "write a post-GC heap profile at exit to `file`")
 	flag.Parse()
 
 	if isSet("parallel") && *parallelFlag < 1 {
 		fmt.Fprintf(os.Stderr, "acbench: -parallel must be >= 1 (got %d)\n", *parallelFlag)
-		os.Exit(2)
+		return 2
 	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acbench:", err)
-		os.Exit(2)
+		return 2
 	}
-	runner := expt.NewRunner(*parallelFlag)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "acbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live retention, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acbench:", err)
+			}
+		}()
+	}
 
 	if *chartsFlag {
 		if *jsonFlag {
 			fmt.Fprintln(os.Stderr, "acbench: -charts cannot be combined with -json")
-			os.Exit(2)
+			return 2
 		}
+		runner := expt.NewRunner(*parallelFlag)
 		for _, c := range expt.Charts(runner, sizes) {
 			c.Render(os.Stdout)
 		}
-		return
+		return 0
 	}
 
 	ids := expt.Order
@@ -95,16 +146,40 @@ func main() {
 		if _, ok := expt.Experiments[*runFlag]; !ok {
 			fmt.Fprintf(os.Stderr, "acbench: unknown experiment %q (want all, %s)\n",
 				*runFlag, strings.Join(expt.Order, ", "))
-			os.Exit(2)
+			return 2
 		}
 		ids = []string{*runFlag}
 	}
 
-	report := jsonReport{Run: *runFlag, Parallelism: runner.Parallelism()}
-	out := io.Writer(os.Stdout)
-	if *jsonFlag {
-		out = io.Discard
+	if !*jsonFlag {
+		runSuite(expt.NewRunner(*parallelFlag), ids, sizes, os.Stdout)
+		return 0
 	}
+
+	// -json: time the suite per parallelism level. Without an explicit
+	// -parallel, record both the serial baseline and the GOMAXPROCS
+	// sweep so the report captures the scheduler speedup.
+	levels := []int{*parallelFlag}
+	if !isSet("parallel") {
+		levels = []int{1, 0}
+	}
+	report := jsonReport{Run: *runFlag}
+	for _, lvl := range levels {
+		report.Runs = append(report.Runs, runSuite(expt.NewRunner(lvl), ids, sizes, io.Discard))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "acbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// runSuite renders the requested experiments through one runner and
+// returns the per-experiment and total wall-clock timings.
+func runSuite(runner *expt.Runner, ids []string, sizes []float64, out io.Writer) jsonRun {
+	res := jsonRun{Parallelism: runner.Parallelism()}
 	start := time.Now()
 	for _, id := range ids {
 		expStart := time.Now()
@@ -122,20 +197,12 @@ func main() {
 		for i := range tables {
 			tables[i].Render(out)
 		}
-		report.Experiments = append(report.Experiments,
+		res.Experiments = append(res.Experiments,
 			expTiming{ID: id, Millis: float64(time.Since(expStart)) / float64(time.Millisecond)})
 	}
-	report.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
-	report.RunCache = runner.Stats()
-
-	if *jsonFlag {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			fmt.Fprintln(os.Stderr, "acbench:", err)
-			os.Exit(1)
-		}
-	}
+	res.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	res.RunCache = runner.Stats()
+	return res
 }
 
 // isSet reports whether the named flag appeared on the command line (so

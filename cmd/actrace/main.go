@@ -130,14 +130,8 @@ func main() {
 	if m, ok := sys.ACM().ManagerOf(p.ID()); ok {
 		fmt.Fprintf(out, "manager: %d decisions, %d overrules, %d mistakes\n",
 			m.Decisions, m.Overrules, m.Mistakes)
-		sizes := m.LevelSizes()
-		var prios []int
-		for prio := range sizes {
-			prios = append(prios, prio)
-		}
-		sort.Ints(prios)
-		for _, prio := range prios {
-			fmt.Fprintf(out, "  pool %+d: %d blocks (%s)\n", prio, sizes[prio], m.PolicyOf(prio))
+		for _, ls := range m.LevelSizes(nil) { // already sorted by priority
+			fmt.Fprintf(out, "  pool %+d: %d blocks (%s)\n", ls.Prio, ls.N, m.PolicyOf(ls.Prio))
 		}
 	}
 	for i := 0; i < 2; i++ {

@@ -15,6 +15,12 @@
 // A temporary priority affects only blocks currently in the cache and
 // lasts until the block is next referenced or replaced, after which the
 // block reverts to its file's long-term priority.
+//
+// Per-block state is the cache.ACMNode embedded in every buffer header
+// (the paper's kernel lays its buf struct out the same way), so the five
+// BUF→ACM upcalls are allocation-free: no boxing, no type assertions, no
+// per-block heap nodes. Managers are indexed by a dense owner-id slice
+// because Managed and the upcalls run once per simulated block access.
 package acm
 
 import (
@@ -57,66 +63,18 @@ type Limits struct {
 // DefaultLimits are generous enough for every workload in the paper.
 var DefaultLimits = Limits{MaxManagers: 64, MaxLevels: 32, MaxFileRecords: 512}
 
-// node is the ACM's per-block state, stored in Buf.Aux.
-type node struct {
-	buf        *cache.Buf
-	lvl        *level
-	prev, next *node
-	temp       bool // parked at a temporary priority
-}
+// A priority pool is a cache.ACMLevel: the intrusive node list lives in
+// the cache package (embedded in Buf), the policy semantics live here.
+// ACMLevel.Policy stores a Policy as its opaque int code.
 
-// level is one priority pool. Its list is kept in LRU order: head.next is
-// the least recently used block, tail.prev the most recently used.
-type level struct {
-	prio       int
-	policy     Policy
-	head, tail *node // sentinels
-	n          int
-}
-
-func newLevel(prio int, policy Policy) *level {
-	l := &level{prio: prio, policy: policy, head: &node{}, tail: &node{}}
-	l.head.next = l.tail
-	l.tail.prev = l.head
-	return l
-}
-
-func (l *level) unlink(nd *node) {
-	nd.prev.next = nd.next
-	nd.next.prev = nd.prev
-	nd.prev, nd.next = nil, nil
-	l.n--
-	nd.lvl = nil
-}
-
-// linkMRU appends at the most-recently-used end.
-func (l *level) linkMRU(nd *node) {
-	nd.prev = l.tail.prev
-	nd.next = l.tail
-	nd.prev.next = nd
-	l.tail.prev = nd
-	nd.lvl = l
-	l.n++
-}
-
-// linkLRU prepends at the least-recently-used end.
-func (l *level) linkLRU(nd *node) {
-	nd.next = l.head.next
-	nd.prev = l.head
-	nd.next.prev = nd
-	l.head.next = nd
-	nd.lvl = l
-	l.n++
-}
-
-// linkLater inserts at the end that causes the block to be replaced
+// linkLater inserts nd at the end that causes the block to be replaced
 // later under this level's policy: the MRU end for LRU, the LRU end for
 // MRU. This is the paper's rule for blocks moving between lists.
-func (l *level) linkLater(nd *node) {
-	if l.policy == LRU {
-		l.linkMRU(nd)
+func linkLater(l *cache.ACMLevel, nd *cache.ACMNode) {
+	if Policy(l.Policy) == LRU {
+		l.LinkMRU(nd)
 	} else {
-		l.linkLRU(nd)
+		l.LinkLRU(nd)
 	}
 }
 
@@ -129,20 +87,20 @@ func (l *level) linkLater(nd *node) {
 // LRU pools do not make this distinction, so a manager with default
 // settings remains exactly LRU. The caller prefers a referenced victim
 // from any level over an unreferenced fallback.
-func (l *level) victim(now sim.Time) (v, fallback *node) {
-	if l.policy == LRU {
-		for nd := l.head.next; nd != l.tail; nd = nd.next {
-			if !nd.buf.Busy(now) {
+func victim(l *cache.ACMLevel, now sim.Time) (v, fallback *cache.ACMNode) {
+	if Policy(l.Policy) == LRU {
+		for nd := l.Head.Next; nd != &l.Tail; nd = nd.Next {
+			if !nd.Buf.Busy(now) {
 				return nd, nil
 			}
 		}
 		return nil, nil
 	}
-	for nd := l.tail.prev; nd != l.head; nd = nd.prev {
-		if nd.buf.Busy(now) {
+	for nd := l.Tail.Prev; nd != &l.Head; nd = nd.Prev {
+		if nd.Buf.Busy(now) {
 			continue
 		}
-		if !nd.buf.Referenced {
+		if !nd.Buf.Referenced {
 			if fallback == nil {
 				fallback = nd
 			}
@@ -157,7 +115,7 @@ func (l *level) victim(now sim.Time) (v, fallback *node) {
 type Manager struct {
 	acm      *ACM
 	owner    int
-	levels   []*level // sorted by prio ascending
+	levels   []*cache.ACMLevel // sorted by Prio ascending
 	filePrio map[fs.FileID]int
 	policies map[int]Policy
 
@@ -172,9 +130,12 @@ type Manager struct {
 
 // ACM is the application control module shared by all managers.
 type ACM struct {
-	now      func() sim.Time
-	limits   Limits
-	managers map[int]*Manager
+	now    func() sim.Time
+	limits Limits
+	// managers is indexed by owner id (process ids are small and dense);
+	// nil entries are unmanaged. Hot-path lookups must not pay for a map.
+	managers []*Manager
+	nmgr     int
 }
 
 // New builds an ACM. The now function supplies virtual time for busy-block
@@ -183,16 +144,27 @@ func New(now func() sim.Time, limits Limits) *ACM {
 	if limits.MaxManagers <= 0 {
 		limits = DefaultLimits
 	}
-	return &ACM{now: now, limits: limits, managers: make(map[int]*Manager)}
+	return &ACM{now: now, limits: limits}
+}
+
+// managerOf returns the manager for owner, or nil.
+func (a *ACM) managerOf(owner int) *Manager {
+	if owner < 0 || owner >= len(a.managers) {
+		return nil
+	}
+	return a.managers[owner]
 }
 
 // CreateManager registers cache control for a process. It fails if the
 // process already has a manager or the manager limit is reached.
 func (a *ACM) CreateManager(owner int) (*Manager, error) {
-	if _, ok := a.managers[owner]; ok {
+	if owner < 0 {
+		return nil, fmt.Errorf("acm: invalid owner id %d", owner)
+	}
+	if a.managerOf(owner) != nil {
 		return nil, fmt.Errorf("acm: process %d already has a manager", owner)
 	}
-	if len(a.managers) >= a.limits.MaxManagers {
+	if a.nmgr >= a.limits.MaxManagers {
 		return nil, fmt.Errorf("acm: manager limit (%d) exceeded", a.limits.MaxManagers)
 	}
 	m := &Manager{
@@ -201,43 +173,48 @@ func (a *ACM) CreateManager(owner int) (*Manager, error) {
 		filePrio: make(map[fs.FileID]int),
 		policies: make(map[int]Policy),
 	}
+	for len(a.managers) <= owner {
+		a.managers = append(a.managers, nil)
+	}
 	a.managers[owner] = m
+	a.nmgr++
 	return m, nil
 }
 
 // DestroyManager withdraws a process's cache control. Its blocks become
 // unmanaged; the cache falls back to treating them by global policy alone.
 func (a *ACM) DestroyManager(owner int) {
-	m := a.managers[owner]
+	m := a.managerOf(owner)
 	if m == nil {
 		return
 	}
 	for _, l := range m.levels {
-		for nd := l.head.next; nd != l.tail; {
-			next := nd.next
-			nd.buf.Aux = nil
+		for nd := l.Head.Next; nd != &l.Tail; {
+			next := nd.Next
+			nd.Prev, nd.Next, nd.Level = nil, nil, nil
+			nd.Temp = false
 			nd = next
 		}
 	}
-	delete(a.managers, owner)
+	a.managers[owner] = nil
+	a.nmgr--
 }
 
-// Manager returns the manager for owner, if any.
+// ManagerOf returns the manager for owner, if any.
 func (a *ACM) ManagerOf(owner int) (*Manager, bool) {
-	m, ok := a.managers[owner]
-	return m, ok
+	m := a.managerOf(owner)
+	return m, m != nil
 }
 
 // Managed implements cache.Replacer.
 func (a *ACM) Managed(owner int) bool {
-	_, ok := a.managers[owner]
-	return ok
+	return a.managerOf(owner) != nil
 }
 
 // getLevel finds or creates the pool for prio, honouring MaxLevels.
-func (m *Manager) getLevel(prio int) (*level, error) {
-	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].prio >= prio })
-	if i < len(m.levels) && m.levels[i].prio == prio {
+func (m *Manager) getLevel(prio int) (*cache.ACMLevel, error) {
+	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].Prio >= prio })
+	if i < len(m.levels) && m.levels[i].Prio == prio {
 		return m.levels[i], nil
 	}
 	if len(m.levels) >= m.acm.limits.MaxLevels {
@@ -247,7 +224,7 @@ func (m *Manager) getLevel(prio int) (*level, error) {
 	if !ok {
 		pol = LRU
 	}
-	l := newLevel(prio, pol)
+	l := cache.NewACMLevel(prio, int(pol))
 	m.levels = append(m.levels, nil)
 	copy(m.levels[i+1:], m.levels[i:])
 	m.levels[i] = l
@@ -256,7 +233,7 @@ func (m *Manager) getLevel(prio int) (*level, error) {
 
 // longTermLevel returns the pool a block of this file belongs to by its
 // long-term priority.
-func (m *Manager) longTermLevel(file fs.FileID) (*level, error) {
+func (m *Manager) longTermLevel(file fs.FileID) (*cache.ACMLevel, error) {
 	prio, ok := m.filePrio[file]
 	if !ok {
 		prio = DefaultPriority
@@ -269,7 +246,7 @@ func (m *Manager) longTermLevel(file fs.FileID) (*level, error) {
 // NewBlock links a freshly cached block into its long-term pool at the
 // most-recently-used position.
 func (a *ACM) NewBlock(b *cache.Buf) {
-	m := a.managers[b.Owner]
+	m := a.managerOf(b.Owner)
 	if m == nil {
 		return
 	}
@@ -279,22 +256,21 @@ func (a *ACM) NewBlock(b *cache.Buf) {
 		// failing the I/O path.
 		return
 	}
-	nd := &node{buf: b}
-	b.Aux = nd
-	l.linkMRU(nd)
+	nd := b.ACM()
+	nd.Buf = b
+	l.LinkMRU(nd)
 	m.NewBlocks++
 }
 
 // BlockGone unlinks a block that left the cache.
 func (a *ACM) BlockGone(b *cache.Buf) {
-	nd, _ := b.Aux.(*node)
-	if nd == nil || nd.lvl == nil {
+	nd := b.ACM()
+	if nd.Level == nil {
 		return
 	}
-	m := a.managers[b.Owner]
-	nd.lvl.unlink(nd)
-	b.Aux = nil
-	if m != nil {
+	nd.Level.Unlink(nd)
+	nd.Temp = false
+	if m := a.managerOf(b.Owner); m != nil {
 		m.GoneBlocks++
 	}
 }
@@ -302,30 +278,29 @@ func (a *ACM) BlockGone(b *cache.Buf) {
 // BlockAccessed refreshes recency and reverts any temporary priority: a
 // temporary priority lasts only until the next reference.
 func (a *ACM) BlockAccessed(b *cache.Buf, off, size int) {
-	nd, _ := b.Aux.(*node)
-	if nd == nil || nd.lvl == nil {
+	nd := b.ACM()
+	l := nd.Level
+	if l == nil {
 		return
 	}
-	m := a.managers[b.Owner]
+	m := a.managerOf(b.Owner)
 	if m == nil {
 		return
 	}
 	m.Accesses++
-	if nd.temp {
-		nd.temp = false
-		nd.lvl.unlink(nd)
-		l, err := m.longTermLevel(b.ID.File)
+	if nd.Temp {
+		nd.Temp = false
+		l.Unlink(nd)
+		lt, err := m.longTermLevel(b.ID.File)
 		if err != nil {
-			b.Aux = nil
-			return
+			return // out of level records: block drops out of management
 		}
-		l.linkMRU(nd)
+		lt.LinkMRU(nd)
 		return
 	}
 	// Move to the most-recently-used position of its current pool.
-	l := nd.lvl
-	l.unlink(nd)
-	l.linkMRU(nd)
+	l.Unlink(nd)
+	l.LinkMRU(nd)
 }
 
 // ReplaceBlock answers the kernel's request on behalf of the candidate's
@@ -333,33 +308,33 @@ func (a *ACM) BlockAccessed(b *cache.Buf, off, size int) {
 // selected by that pool's policy. Returning the candidate accepts the
 // kernel's suggestion.
 func (a *ACM) ReplaceBlock(candidate *cache.Buf, missing cache.BlockID) *cache.Buf {
-	m := a.managers[candidate.Owner]
+	m := a.managerOf(candidate.Owner)
 	if m == nil {
 		return candidate
 	}
 	m.Decisions++
 	now := a.now()
-	var fallback *node
+	var fallback *cache.ACMNode
 	for _, l := range m.levels {
-		if l.n == 0 {
+		if l.N == 0 {
 			continue
 		}
-		nd, fb := l.victim(now)
+		nd, fb := victim(l, now)
 		if fallback == nil {
 			fallback = fb
 		}
 		if nd != nil {
-			if nd.buf != candidate {
+			if nd.Buf != candidate {
 				m.Overrules++
 			}
-			return nd.buf
+			return nd.Buf
 		}
 	}
 	if fallback != nil {
-		if fallback.buf != candidate {
+		if fallback.Buf != candidate {
 			m.Overrules++
 		}
-		return fallback.buf
+		return fallback.Buf
 	}
 	return candidate
 }
@@ -368,7 +343,7 @@ func (a *ACM) ReplaceBlock(candidate *cache.Buf, missing cache.BlockID) *cache.B
 // count feeds application-level diagnostics; the kernel-side revocation
 // bookkeeping lives in the cache.
 func (a *ACM) PlaceholderUsed(missing cache.BlockID, pointed *cache.Buf) {
-	if m := a.managers[pointed.Owner]; m != nil {
+	if m := a.managerOf(pointed.Owner); m != nil {
 		m.Mistakes++
 	}
 }
@@ -392,14 +367,14 @@ func (m *Manager) SetPriority(file fs.FileID, prio int) error {
 		return err
 	}
 	for _, nd := range m.blocksOf(file) {
-		if nd.temp {
+		if nd.Temp {
 			continue // temp priority wins until next reference
 		}
-		if nd.lvl == dst {
+		if nd.Level == dst {
 			continue
 		}
-		nd.lvl.unlink(nd)
-		dst.linkLater(nd)
+		nd.Level.Unlink(nd)
+		linkLater(dst, nd)
 	}
 	return nil
 }
@@ -422,7 +397,7 @@ func (m *Manager) SetPolicy(prio int, pol Policy) error {
 	if err != nil {
 		return err
 	}
-	l.policy = pol
+	l.Policy = int(pol)
 	return nil
 }
 
@@ -446,24 +421,24 @@ func (m *Manager) SetTempPri(file fs.FileID, startBlk, endBlk int32, prio int) e
 		return err
 	}
 	for _, nd := range m.blocksOf(file) {
-		if nd.buf.ID.Num < startBlk || nd.buf.ID.Num > endBlk {
+		if nd.Buf.ID.Num < startBlk || nd.Buf.ID.Num > endBlk {
 			continue
 		}
-		if nd.lvl != dst {
-			nd.lvl.unlink(nd)
-			dst.linkLater(nd)
+		if nd.Level != dst {
+			nd.Level.Unlink(nd)
+			linkLater(dst, nd)
 		}
-		nd.temp = prio != m.Priority(file)
+		nd.Temp = prio != m.Priority(file)
 	}
 	return nil
 }
 
 // blocksOf collects the manager's cached nodes for a file.
-func (m *Manager) blocksOf(file fs.FileID) []*node {
-	var out []*node
+func (m *Manager) blocksOf(file fs.FileID) []*cache.ACMNode {
+	var out []*cache.ACMNode
 	for _, l := range m.levels {
-		for nd := l.head.next; nd != l.tail; nd = nd.next {
-			if nd.buf.ID.File == file {
+		for nd := l.Head.Next; nd != &l.Tail; nd = nd.Next {
+			if nd.Buf.ID.File == file {
 				out = append(out, nd)
 			}
 		}
@@ -471,12 +446,21 @@ func (m *Manager) blocksOf(file fs.FileID) []*node {
 	return out
 }
 
-// LevelSizes reports pool occupancy by priority, for tests and diagnostics.
-func (m *Manager) LevelSizes() map[int]int {
-	out := make(map[int]int)
+// LevelSize is one entry of LevelSizes: occupancy of the pool at Prio.
+type LevelSize struct {
+	Prio, N int
+}
+
+// LevelSizes reports non-empty pool occupancy ordered by ascending
+// priority, appending to buf (pass nil for a fresh slice, or a recycled
+// one to avoid allocating). For tests and diagnostics; the former
+// map-returning version allocated a map per call, which invited
+// accidental hot-path use.
+func (m *Manager) LevelSizes(buf []LevelSize) []LevelSize {
+	out := buf[:0]
 	for _, l := range m.levels {
-		if l.n > 0 {
-			out[l.prio] = l.n
+		if l.N > 0 {
+			out = append(out, LevelSize{Prio: l.Prio, N: l.N})
 		}
 	}
 	return out
@@ -485,13 +469,14 @@ func (m *Manager) LevelSizes() map[int]int {
 // PoolOrder returns the block numbers of file's blocks in pool prio, from
 // the LRU end to the MRU end. Intended for tests.
 func (m *Manager) PoolOrder(prio int) []cache.BlockID {
-	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].prio >= prio })
-	if i >= len(m.levels) || m.levels[i].prio != prio {
+	i := sort.Search(len(m.levels), func(i int) bool { return m.levels[i].Prio >= prio })
+	if i >= len(m.levels) || m.levels[i].Prio != prio {
 		return nil
 	}
+	l := m.levels[i]
 	var out []cache.BlockID
-	for nd := m.levels[i].head.next; nd != m.levels[i].tail; nd = nd.next {
-		out = append(out, nd.buf.ID)
+	for nd := l.Head.Next; nd != &l.Tail; nd = nd.Next {
+		out = append(out, nd.Buf.ID)
 	}
 	return out
 }
@@ -499,22 +484,25 @@ func (m *Manager) PoolOrder(prio int) []cache.BlockID {
 // CheckInvariants panics on structural inconsistency; tests call it.
 func (a *ACM) CheckInvariants() {
 	for owner, m := range a.managers {
+		if m == nil {
+			continue
+		}
 		for _, l := range m.levels {
 			n := 0
-			for nd := l.head.next; nd != l.tail; nd = nd.next {
+			for nd := l.Head.Next; nd != &l.Tail; nd = nd.Next {
 				n++
-				if nd.lvl != l {
-					panic(fmt.Sprintf("acm: node %v in level %d claims another level", nd.buf.ID, l.prio))
+				if nd.Level != l {
+					panic(fmt.Sprintf("acm: node %v in level %d claims another level", nd.Buf.ID, l.Prio))
 				}
-				if nd.buf.Aux != nd {
-					panic(fmt.Sprintf("acm: buf %v Aux does not point back", nd.buf.ID))
+				if nd.Buf == nil || nd.Buf.ACM() != nd {
+					panic(fmt.Sprintf("acm: node in level %d does not point back at its buf", l.Prio))
 				}
-				if nd.buf.Owner != owner {
-					panic(fmt.Sprintf("acm: buf %v owned by %d in manager %d", nd.buf.ID, nd.buf.Owner, owner))
+				if nd.Buf.Owner != owner {
+					panic(fmt.Sprintf("acm: buf %v owned by %d in manager %d", nd.Buf.ID, nd.Buf.Owner, owner))
 				}
 			}
-			if n != l.n {
-				panic(fmt.Sprintf("acm: level %d count %d, walked %d", l.prio, l.n, n))
+			if n != l.N {
+				panic(fmt.Sprintf("acm: level %d count %d, walked %d", l.Prio, l.N, n))
 			}
 		}
 	}

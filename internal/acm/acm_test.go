@@ -10,6 +10,16 @@ import (
 	"repro/internal/sim"
 )
 
+// levelSizes converts LevelSizes' sorted slice to a map for the
+// absent-means-zero indexing the assertions below use.
+func levelSizes(m *acm.Manager) map[int]int {
+	out := make(map[int]int)
+	for _, ls := range m.LevelSizes(nil) {
+		out[ls.Prio] = ls.N
+	}
+	return out
+}
+
 // harness wires a real cache to the ACM, standing in for the core kernel.
 type harness struct {
 	c   *cache.Cache
@@ -198,7 +208,7 @@ func TestPriorityPoolsProtectHotFile(t *testing.T) {
 			t.Fatalf("hot block %d evicted by cold traffic", b)
 		}
 	}
-	sizes := m.LevelSizes()
+	sizes := levelSizes(m)
 	if sizes[1] != 20 {
 		t.Errorf("priority-1 pool holds %d, want 20", sizes[1])
 	}
@@ -263,13 +273,13 @@ func TestTempPriRevertsOnAccess(t *testing.T) {
 		h.read(1, f, b)
 	}
 	m.SetTempPri(f, 1, 1, -1)
-	sizes := m.LevelSizes()
+	sizes := levelSizes(m)
 	if sizes[-1] != 1 || sizes[0] != 2 {
 		t.Fatalf("LevelSizes = %v, want {-1:1, 0:2}", sizes)
 	}
 	// Touch block 1: it reverts to priority 0.
 	h.read(1, f, 1)
-	sizes = m.LevelSizes()
+	sizes = levelSizes(m)
 	if sizes[-1] != 0 || sizes[0] != 3 {
 		t.Fatalf("after access LevelSizes = %v, want {0:3}", sizes)
 	}
@@ -294,13 +304,13 @@ func TestSetPriorityMovesCachedBlocks(t *testing.T) {
 		h.read(1, f, b)
 	}
 	m.SetPriority(f, 2)
-	sizes := m.LevelSizes()
+	sizes := levelSizes(m)
 	if sizes[2] != 4 {
 		t.Fatalf("LevelSizes = %v, want 4 blocks at priority 2", sizes)
 	}
 	// And back down.
 	m.SetPriority(f, 0)
-	sizes = m.LevelSizes()
+	sizes = levelSizes(m)
 	if sizes[0] != 4 {
 		t.Fatalf("LevelSizes = %v, want 4 blocks at priority 0", sizes)
 	}
@@ -319,12 +329,12 @@ func TestTempPriSurvivesSetPriority(t *testing.T) {
 	}
 	m.SetTempPri(f, 0, 0, 5)
 	m.SetPriority(f, 1)
-	sizes := m.LevelSizes()
+	sizes := levelSizes(m)
 	if sizes[5] != 1 || sizes[1] != 2 {
 		t.Fatalf("LevelSizes = %v, want {5:1, 1:2}", sizes)
 	}
 	h.read(1, f, 0) // revert: goes to the new long-term level 1
-	sizes = m.LevelSizes()
+	sizes = levelSizes(m)
 	if sizes[5] != 0 || sizes[1] != 3 {
 		t.Fatalf("after access LevelSizes = %v, want {1:3}", sizes)
 	}
@@ -507,9 +517,34 @@ func TestSetTempPriSamePriorityClearsTemp(t *testing.T) {
 	if err := m.SetTempPri(3, 0, 0, acm.DefaultPriority); err != nil {
 		t.Fatal(err)
 	}
-	sizes := m.LevelSizes()
+	sizes := levelSizes(m)
 	if sizes[0] != 2 {
 		t.Fatalf("LevelSizes = %v", sizes)
 	}
 	h.a.CheckInvariants()
+}
+
+// TestBlockAccessedZeroAllocs pins the intrusive-node design: the
+// block_accessed upcall — node reached through the buffer header, no
+// interface boxing or type assertion, recency relink in place — must
+// not allocate in steady state, since it runs once per simulated cache
+// hit.
+func TestBlockAccessedZeroAllocs(t *testing.T) {
+	h := newHarness(t, 64, cache.LRUSP)
+	if _, err := h.a.CreateManager(1); err != nil {
+		t.Fatal(err)
+	}
+	for b := int32(0); b < 64; b++ {
+		h.read(1, 2, b)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for b := int32(0); b < 64; b++ {
+			if !h.read(1, 2, b) {
+				t.Fatal("warm block missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("block_accessed allocated %.1f times per run, want 0", allocs)
+	}
 }

@@ -1,0 +1,77 @@
+package cache
+
+// This file hosts the *storage* for the application control module's
+// per-block state. The paper's kernel does the same thing: the BUF
+// buffer header carries the ACM's fields inline so that crossing the
+// BUF→ACM interface on every access touches no additional allocation
+// or indirection. The semantics of these fields — what the policies
+// mean, which end of a pool gets victimized — belong entirely to the
+// Replacer implementation (package acm); BUF only zeroes the linkage
+// when it recycles a buffer.
+//
+// Before this layout the ACM kept its node in Buf.Aux interface{},
+// which boxed a pointer and forced a type assertion on every
+// block_accessed upcall, plus one heap allocation per new_block.
+
+// ACMNode is the Replacer's per-block state, embedded in every Buf
+// (see Buf.ACM). Level == nil means the block is not under any
+// manager's control; the other fields are meaningless then.
+type ACMNode struct {
+	// Buf points back to the buffer embedding this node, so pool walks
+	// can reach buffer state (Busy, Referenced, ID). The Replacer sets
+	// it when it links the node.
+	Buf        *Buf
+	Prev, Next *ACMNode
+	Level      *ACMLevel
+	// Temp marks a block parked at a temporary priority.
+	Temp bool
+}
+
+// ACMLevel is one priority pool: an intrusive doubly-linked list of
+// ACMNodes in LRU order (Head.Next least recently used, Tail.Prev most
+// recently used) plus the pool's identity. Policy is an opaque code
+// owned by the Replacer (package acm reads it as an acm.Policy).
+type ACMLevel struct {
+	Prio   int
+	Policy int
+	N      int
+	// Head and Tail are list sentinels; their Buf pointers stay nil.
+	Head, Tail ACMNode
+}
+
+// NewACMLevel returns an initialized empty pool.
+func NewACMLevel(prio, policy int) *ACMLevel {
+	l := &ACMLevel{Prio: prio, Policy: policy}
+	l.Head.Next = &l.Tail
+	l.Tail.Prev = &l.Head
+	return l
+}
+
+// Unlink removes nd from the pool and marks it unmanaged.
+func (l *ACMLevel) Unlink(nd *ACMNode) {
+	nd.Prev.Next = nd.Next
+	nd.Next.Prev = nd.Prev
+	nd.Prev, nd.Next = nil, nil
+	nd.Level = nil
+	l.N--
+}
+
+// LinkMRU appends nd at the most-recently-used end.
+func (l *ACMLevel) LinkMRU(nd *ACMNode) {
+	nd.Prev = l.Tail.Prev
+	nd.Next = &l.Tail
+	nd.Prev.Next = nd
+	l.Tail.Prev = nd
+	nd.Level = l
+	l.N++
+}
+
+// LinkLRU prepends nd at the least-recently-used end.
+func (l *ACMLevel) LinkLRU(nd *ACMNode) {
+	nd.Next = l.Head.Next
+	nd.Prev = &l.Head
+	nd.Next.Prev = nd
+	l.Head.Next = nd
+	nd.Level = l
+	l.N++
+}

@@ -1,0 +1,67 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/acm"
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// TestLookupHitZeroAllocs pins the tentpole property of the packed
+// index and the intrusive ACM node: a steady-state cache hit — hash
+// probe, global-list move-to-front, block_accessed upcall into a real
+// manager — allocates nothing. (Before, Buf.Aux interface{} boxing and
+// the map-backed indexes put allocations and assertions on this path.)
+func TestLookupHitZeroAllocs(t *testing.T) {
+	a := acm.New(func() sim.Time { return 0 }, acm.Limits{})
+	c := cache.New(cache.Config{Capacity: 256, Alloc: cache.LRUSP}, a)
+	if _, err := a.CreateManager(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		c.Insert(cache.BlockID{File: 1, Num: int32(i)}, 1, 0)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			if c.LookupBy(cache.BlockID{File: 1, Num: int32(i)}, 1, 0, 8192) == nil {
+				t.Fatal("warm block missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hit path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestMissReplaceSteadyStateZeroAllocs drives the full two-level miss
+// protocol — LRU candidate, replace_block consultation, eviction,
+// arena-recycled insertion — in steady state and requires it not to
+// allocate either: buffers come off the free list and the indexes never
+// rehash.
+func TestMissReplaceSteadyStateZeroAllocs(t *testing.T) {
+	a := acm.New(func() sim.Time { return 0 }, acm.Limits{})
+	c := cache.New(cache.Config{Capacity: 128, Alloc: cache.LRUSP}, a)
+	if _, err := a.CreateManager(1); err != nil {
+		t.Fatal(err)
+	}
+	n := int32(0)
+	miss := func() {
+		id := cache.BlockID{File: 1, Num: n}
+		n++
+		if c.Lookup(id, 0, 8192) == nil {
+			c.Insert(id, 1, 0)
+		}
+	}
+	for i := 0; i < 4*128; i++ {
+		miss() // reach the eviction regime and settle all capacities
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			miss()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state miss path allocated %.1f times per run, want 0", allocs)
+	}
+}

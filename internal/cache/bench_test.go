@@ -3,8 +3,10 @@ package cache_test
 import (
 	"testing"
 
+	"repro/internal/acm"
 	"repro/internal/cache"
 	"repro/internal/fs"
+	"repro/internal/sim"
 )
 
 // BenchmarkLookupHit measures the hit path: hash probe plus global-list
@@ -51,5 +53,49 @@ func BenchmarkMissEvictTwoLevel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := cache.BlockID{File: 1, Num: int32(i)}
 		c.Insert(id, 1, 0)
+	}
+}
+
+// BenchmarkMissReplace measures the full LRU-SP evict/placeholder cycle
+// against a real ACM manager that has misjudged its workload: a hot file
+// parked at priority -1 under a cold streaming file, so the manager keeps
+// overruling the kernel with blocks that are needed again almost
+// immediately. Every iteration runs consult, overrule, swap, placeholder
+// construction — and, when the hot block comes back, the placeholder
+// redirection plus the placeholder_used upcall.
+func BenchmarkMissReplace(b *testing.B) {
+	a := acm.New(func() sim.Time { return 0 }, acm.Limits{})
+	c := cache.New(cache.Config{Capacity: 819, Alloc: cache.LRUSP}, a)
+	m, err := a.CreateManager(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot, cold := fs.FileID(1), fs.FileID(2)
+	if err := m.SetPriority(hot, -1); err != nil { // foolishly marked junk
+		b.Fatal(err)
+	}
+	access := func(i int) {
+		h := cache.BlockID{File: hot, Num: int32(i % 100)}
+		if c.Lookup(h, 0, 8192) == nil {
+			c.Insert(h, 1, 0)
+		}
+		cl := cache.BlockID{File: cold, Num: int32(i % 4096)}
+		if c.Lookup(cl, 0, 8192) == nil {
+			c.Insert(cl, 1, 0)
+		}
+	}
+	for i := 0; i < 4*4096; i++ {
+		access(i) // settle free lists, holder slices, and table sizes
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		access(i)
+	}
+	b.StopTimer()
+	st := c.Stats()
+	if st.Overrules == 0 || st.PlaceholderHits == 0 {
+		b.Fatalf("benchmark lost its point: %d overrules, %d placeholder hits",
+			st.Overrules, st.PlaceholderHits)
 	}
 }

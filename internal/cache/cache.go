@@ -23,16 +23,28 @@
 //	LRUS      — swapping but no placeholders ("unprotected" in Table 1).
 //	AllocLRU  — two-level replacement over a plain LRU list: managers are
 //	            consulted but no swapping, no placeholders (Figure 6).
+//
+// The simulation's unit of work is the block access, so this package is
+// engineered to be allocation-free in steady state: buffers live in one
+// arena allocated at construction and recycle through a free list, the
+// block index and the placeholder index are open-addressing tables keyed
+// by a packed 64-bit BlockID (index.go), the ACM's per-block state is
+// embedded in the buffer header (acmnode.go), and evicted-victim records
+// are returned through a per-cache scratch slot.
 package cache
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fs"
 	"repro/internal/sim"
 )
 
 // BlockID names one file-system block: a file and a block number within it.
+// Both fields must remain 32-bit: the cache indexes blocks by the packed
+// 64-bit form (see index.go), which is collision-free only as long as a
+// BlockID fits one word exactly.
 type BlockID struct {
 	File fs.FileID
 	Num  int32
@@ -45,6 +57,13 @@ func (id BlockID) String() string {
 // NoOwner marks a buffer not owned by any process (or owned by a process
 // without a manager).
 const NoOwner = -1
+
+// IOPending, stored in Buf.ValidAt, marks a buffer whose fill I/O has been
+// issued but not completed: the disk completion callback will overwrite
+// ValidAt with the real completion time. Until then the buffer is busy
+// forever as far as Busy is concerned, and the cache will not recycle it
+// even if it is evicted (the callback still holds the pointer).
+const IOPending = sim.Time(math.MaxInt64)
 
 // Alloc selects the kernel's global allocation policy.
 type Alloc int
@@ -83,8 +102,8 @@ func (a Alloc) placeholders() bool { return a == LRUSP }
 func (a Alloc) twoLevel() bool { return a != GlobalLRU }
 
 // Buf is one cache buffer. The BUF module owns the global-list linkage and
-// placeholder back-pointers; the Aux field belongs to the application
-// control module for its per-block state.
+// placeholder back-pointers; the embedded ACMNode belongs to the
+// application control module for its per-block state.
 type Buf struct {
 	ID    BlockID
 	Owner int // manager id, or NoOwner
@@ -100,12 +119,16 @@ type Buf struct {
 	// unreferenced blocks as last-resort victims.
 	Referenced bool
 
-	// Aux is reserved for the Replacer (ACM per-block state).
-	Aux interface{}
+	// acm is the Replacer's per-block state, embedded so that the five
+	// BUF→ACM upcalls never box, assert, or allocate (see acmnode.go).
+	acm ACMNode
 
 	gprev, gnext *Buf // global allocation list; nil when not linked
 	holders      []*placeholder
 }
+
+// ACM returns the Replacer's embedded per-block state.
+func (b *Buf) ACM() *ACMNode { return &b.acm }
 
 // Busy reports whether the buffer's fill I/O is still in flight at time
 // now.
@@ -117,6 +140,7 @@ func (b *Buf) Busy(now sim.Time) bool { return b.ValidAt > now }
 type placeholder struct {
 	forID  BlockID
 	points *Buf
+	free   *placeholder // free-list link; nil while live
 }
 
 // Replacer is the application control module as seen from BUF — the five
@@ -203,15 +227,25 @@ type Config struct {
 // simulation exactly one process runs at a time.
 type Cache struct {
 	cfg   Config
-	table map[BlockID]*Buf
+	table oaTable[Buf] // packed BlockID -> *Buf; sized once, never rehashes
 	// Global allocation list: head.gnext is the LRU end, tail.gprev the
 	// MRU end. head and tail are sentinels.
 	head, tail *Buf
 	count      int
-	ph         map[BlockID]*placeholder
+	ph         oaTable[placeholder] // packed BlockID -> live placeholder
 	repl       Replacer
 	stats      Stats
-	owners     map[int]*OwnerStats
+	owners     []*OwnerStats // indexed by owner id; nil = no record yet
+
+	// arena backs every buffer; freeBufs chains recyclable ones through
+	// gnext. Buffers evicted mid-fill (ValidAt == IOPending) are the one
+	// exception: the completion callback still holds them, so they leak
+	// to the GC instead of recycling, and a fresh Buf is allocated when
+	// the free list runs dry.
+	arena    []Buf
+	freeBufs *Buf
+	freePh   *placeholder
+	victim   Victim // scratch for Insert's victim result; valid until the next Insert
 }
 
 // New builds a cache. The Replacer may be nil only for GlobalLRU.
@@ -223,17 +257,68 @@ func New(cfg Config, repl Replacer) *Cache {
 		panic("cache: two-level policy requires a Replacer")
 	}
 	c := &Cache{
-		cfg:    cfg,
-		table:  make(map[BlockID]*Buf, cfg.Capacity),
-		head:   &Buf{},
-		tail:   &Buf{},
-		ph:     make(map[BlockID]*placeholder),
-		repl:   repl,
-		owners: make(map[int]*OwnerStats),
+		cfg:  cfg,
+		head: &Buf{},
+		tail: &Buf{},
+		repl: repl,
 	}
 	c.head.gnext = c.tail
 	c.tail.gprev = c.head
+	c.table.reserve(cfg.Capacity)
+	c.arena = make([]Buf, cfg.Capacity)
+	for i := range c.arena {
+		c.arena[i].gnext = c.freeBufs
+		c.freeBufs = &c.arena[i]
+	}
 	return c
+}
+
+// allocBuf takes a buffer off the free list (or, rarely, from the heap
+// when busy evictions have drained the arena) and stamps its identity.
+func (c *Cache) allocBuf(id BlockID, owner int) *Buf {
+	b := c.freeBufs
+	if b == nil {
+		b = &Buf{}
+	} else {
+		c.freeBufs = b.gnext
+		b.gnext = nil
+	}
+	b.ID = id
+	b.Owner = owner
+	return b
+}
+
+// freeBuf recycles b unless a fill I/O still holds it.
+func (c *Cache) freeBuf(b *Buf) {
+	if b.ValidAt == IOPending {
+		return
+	}
+	holders := b.holders[:0] // keep the slice's capacity across reuse
+	*b = Buf{}
+	b.holders = holders
+	b.gnext = c.freeBufs
+	c.freeBufs = b
+}
+
+// allocPlaceholder takes a placeholder off the free list.
+func (c *Cache) allocPlaceholder(forID BlockID, points *Buf) *placeholder {
+	ph := c.freePh
+	if ph == nil {
+		ph = &placeholder{}
+	} else {
+		c.freePh = ph.free
+		ph.free = nil
+	}
+	ph.forID = forID
+	ph.points = points
+	return ph
+}
+
+// freePlaceholder recycles ph.
+func (c *Cache) freePlaceholder(ph *placeholder) {
+	ph.points = nil
+	ph.free = c.freePh
+	c.freePh = ph
 }
 
 // Capacity returns the configured buffer count.
@@ -248,20 +333,37 @@ func (c *Cache) Alloc() Alloc { return c.cfg.Alloc }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Consults returns the replace_block consultation count without copying
+// the whole Stats struct (the upcall-cost accounting reads it per miss).
+func (c *Cache) Consults() int64 { return c.stats.Consults }
+
 // Owner returns the decision-quality record for a manager id, creating it
-// on first use.
+// on first use. A negative id gets a throwaway record: the kernel keeps no
+// book on NoOwner.
 func (c *Cache) Owner(id int) *OwnerStats {
-	os := c.owners[id]
-	if os == nil {
-		os = &OwnerStats{}
-		c.owners[id] = os
+	if id < 0 {
+		return &OwnerStats{}
 	}
-	return os
+	for len(c.owners) <= id {
+		c.owners = append(c.owners, nil)
+	}
+	if c.owners[id] == nil {
+		c.owners[id] = &OwnerStats{}
+	}
+	return c.owners[id]
+}
+
+// ownerRecord returns the existing record for owner, or nil.
+func (c *Cache) ownerRecord(owner int) *OwnerStats {
+	if owner < 0 || owner >= len(c.owners) {
+		return nil
+	}
+	return c.owners[owner]
 }
 
 // Revoked reports whether owner's control privileges have been revoked.
 func (c *Cache) Revoked(owner int) bool {
-	if os := c.owners[owner]; os != nil {
+	if os := c.ownerRecord(owner); os != nil {
 		return os.Revoked
 	}
 	return false
@@ -322,7 +424,8 @@ func (c *Cache) lruScan(now sim.Time) *Buf {
 }
 
 // GlobalOrder returns the block IDs in the global list from LRU to MRU.
-// Intended for tests and diagnostics.
+// It allocates the result; tests and diagnostics only, never the
+// simulation path.
 func (c *Cache) GlobalOrder() []BlockID {
 	ids := make([]BlockID, 0, c.count)
 	for b := c.head.gnext; b != c.tail; b = b.gnext {
@@ -332,7 +435,7 @@ func (c *Cache) GlobalOrder() []BlockID {
 }
 
 // Placeholders returns the number of live placeholders.
-func (c *Cache) Placeholders() int { return len(c.ph) }
+func (c *Cache) Placeholders() int { return c.ph.len() }
 
 // --- main operations ---
 
@@ -348,7 +451,7 @@ func (c *Cache) Lookup(id BlockID, off, size int) *Buf {
 // SharedTransfer, a hit by a process other than the block's owner moves
 // the block under the accessor's manager.
 func (c *Cache) LookupBy(id BlockID, accessor int, off, size int) *Buf {
-	b := c.table[id]
+	b := c.table.get(id.pack())
 	if b == nil {
 		c.stats.Misses++
 		return nil
@@ -388,15 +491,15 @@ func (c *Cache) transferOwner(b *Buf, accessor int) {
 
 // Peek finds a cached block without touching recency state or notifying
 // the manager.
-func (c *Cache) Peek(id BlockID) *Buf { return c.table[id] }
+func (c *Cache) Peek(id BlockID) *Buf { return c.table.get(id.pack()) }
 
 // managed reports whether owner has an active, non-revoked manager under a
 // two-level policy.
 func (c *Cache) managed(owner int) bool {
-	if owner == NoOwner || !c.cfg.Alloc.twoLevel() {
+	if owner < 0 || !c.cfg.Alloc.twoLevel() {
 		return false
 	}
-	if os := c.owners[owner]; os != nil && os.Revoked {
+	if os := c.ownerRecord(owner); os != nil && os.Revoked {
 		return false
 	}
 	return c.repl.Managed(owner)
@@ -404,16 +507,18 @@ func (c *Cache) managed(owner int) bool {
 
 // Insert brings block id into the cache on behalf of owner, evicting if
 // full. It returns the new buffer and, if an eviction occurred, the victim
-// (so the caller can write back dirty data). Insert panics if the block is
-// already cached — callers must Lookup first.
+// (so the caller can write back dirty data). The victim record is a
+// per-cache scratch slot, valid only until the next Insert. Insert panics
+// if the block is already cached — callers must Lookup first.
 func (c *Cache) Insert(id BlockID, owner int, now sim.Time) (*Buf, *Victim) {
-	if c.table[id] != nil {
+	k := id.pack()
+	if c.table.get(k) != nil {
 		panic(fmt.Sprintf("cache: Insert of cached block %v", id))
 	}
 	var victim *Victim
 	if c.count >= c.cfg.Capacity {
 		victim = c.evictFor(id, now)
-	} else if ph := c.ph[id]; ph != nil {
+	} else if ph := c.ph.get(k); ph != nil {
 		// The overruled block came back while free buffers existed: the
 		// placeholder still proves the earlier decision wrong, but no
 		// candidate redirection is needed.
@@ -424,8 +529,8 @@ func (c *Cache) Insert(id BlockID, owner int, now sim.Time) (*Buf, *Victim) {
 			c.repl.PlaceholderUsed(id, pointed)
 		}
 	}
-	b := &Buf{ID: id, Owner: owner}
-	c.table[id] = b
+	b := c.allocBuf(id, owner)
+	c.table.put(k, b)
 	c.linkMRU(b)
 	c.count++
 	if c.managed(owner) {
@@ -442,7 +547,7 @@ func (c *Cache) evictFor(missing BlockID, now sim.Time) *Victim {
 	// mistake.
 	var candidate *Buf
 	if c.cfg.Alloc.placeholders() {
-		if ph := c.ph[missing]; ph != nil {
+		if ph := c.ph.get(missing.pack()); ph != nil {
 			candidate = ph.points
 			c.dropPlaceholder(ph)
 			c.stats.PlaceholderHits++
@@ -488,7 +593,7 @@ func (c *Cache) validateAlternative(candidate, alt *Buf, now sim.Time) {
 		panic(fmt.Sprintf("cache: manager %d offered block %v owned by %d",
 			candidate.Owner, alt.ID, alt.Owner))
 	}
-	if c.table[alt.ID] != alt {
+	if c.table.get(alt.ID.pack()) != alt {
 		panic(fmt.Sprintf("cache: manager offered uncached block %v", alt.ID))
 	}
 	if alt.Busy(now) {
@@ -496,55 +601,62 @@ func (c *Cache) validateAlternative(candidate, alt *Buf, now sim.Time) {
 	}
 }
 
-// evict removes b from the cache and returns the victim record.
+// evict removes b from the cache and returns the victim record (the
+// per-cache scratch slot; the caller consumes it before the next Insert).
 func (c *Cache) evict(b *Buf) *Victim {
-	v := &Victim{ID: b.ID, Owner: b.Owner, Dirty: b.Dirty}
+	c.victim = Victim{ID: b.ID, Owner: b.Owner, Dirty: b.Dirty}
 	if !b.Referenced {
 		c.stats.UnrefEvictions++
 	}
 	c.remove(b)
 	c.stats.Evictions++
-	return v
+	return &c.victim
 }
 
-// remove takes b out of all cache structures and notifies the manager.
+// remove takes b out of all cache structures, notifies the manager, and
+// recycles the buffer.
 func (c *Cache) remove(b *Buf) {
-	delete(c.table, b.ID)
+	c.table.del(b.ID.pack())
 	c.unlink(b)
 	c.count--
 	// Placeholders pointing at b die with it.
 	for _, ph := range b.holders {
-		delete(c.ph, ph.forID)
+		c.ph.del(ph.forID.pack())
+		c.freePlaceholder(ph)
 	}
-	b.holders = nil
+	b.holders = b.holders[:0]
 	if c.managed(b.Owner) {
 		c.repl.BlockGone(b)
 	}
+	c.freeBuf(b)
 }
 
 // setPlaceholder records "forID was replaced while points was kept". Any
 // previous placeholder for the same block is superseded.
 func (c *Cache) setPlaceholder(forID BlockID, points *Buf) {
-	if old := c.ph[forID]; old != nil {
+	k := forID.pack()
+	if old := c.ph.get(k); old != nil {
 		c.dropPlaceholder(old)
 	}
-	ph := &placeholder{forID: forID, points: points}
-	c.ph[forID] = ph
+	ph := c.allocPlaceholder(forID, points)
+	c.ph.put(k, ph)
 	points.holders = append(points.holders, ph)
 }
 
-// dropPlaceholder removes ph from the map and from its pointee's holder
-// list.
+// dropPlaceholder removes ph from the index and from its pointee's holder
+// list, then recycles it.
 func (c *Cache) dropPlaceholder(ph *placeholder) {
-	delete(c.ph, ph.forID)
+	c.ph.del(ph.forID.pack())
 	hs := ph.points.holders
 	for i, h := range hs {
 		if h == ph {
 			hs[i] = hs[len(hs)-1]
+			hs[len(hs)-1] = nil
 			ph.points.holders = hs[:len(hs)-1]
 			break
 		}
 	}
+	c.freePlaceholder(ph)
 }
 
 // recordDecision counts an overrule by owner.
@@ -611,10 +723,14 @@ func (c *Cache) InvalidateFile(id fs.FileID) int {
 		c.remove(b)
 	}
 	// Placeholders keyed by the dead file's blocks are stale too.
-	for k, ph := range c.ph {
-		if k.File == id {
-			c.dropPlaceholder(ph)
+	var stale []*placeholder
+	c.ph.forEach(func(k key, ph *placeholder) {
+		if k.file() == id {
+			stale = append(stale, ph)
 		}
+	})
+	for _, ph := range stale {
+		c.dropPlaceholder(ph)
 	}
 	return len(doomed)
 }
@@ -625,11 +741,11 @@ func (c *Cache) CheckInvariants() {
 	n := 0
 	for b := c.head.gnext; b != c.tail; b = b.gnext {
 		n++
-		if c.table[b.ID] != b {
+		if c.table.get(b.ID.pack()) != b {
 			panic(fmt.Sprintf("cache: listed block %v not in table", b.ID))
 		}
 		for _, ph := range b.holders {
-			if c.ph[ph.forID] != ph {
+			if c.ph.get(ph.forID.pack()) != ph {
 				panic(fmt.Sprintf("cache: holder of %v not registered", b.ID))
 			}
 			if ph.points != b {
@@ -637,21 +753,21 @@ func (c *Cache) CheckInvariants() {
 			}
 		}
 	}
-	if n != c.count || n != len(c.table) {
-		panic(fmt.Sprintf("cache: count %d, list %d, table %d disagree", c.count, n, len(c.table)))
+	if n != c.count || n != c.table.len() {
+		panic(fmt.Sprintf("cache: count %d, list %d, table %d disagree", c.count, n, c.table.len()))
 	}
 	if n > c.cfg.Capacity {
 		panic(fmt.Sprintf("cache: %d blocks exceed capacity %d", n, c.cfg.Capacity))
 	}
-	for id, ph := range c.ph {
-		if id != ph.forID {
+	c.ph.forEach(func(k key, ph *placeholder) {
+		if k != ph.forID.pack() {
 			panic("cache: placeholder key mismatch")
 		}
-		if c.table[id] != nil {
-			panic(fmt.Sprintf("cache: placeholder exists for cached block %v", id))
+		if c.table.get(k) != nil {
+			panic(fmt.Sprintf("cache: placeholder exists for cached block %v", ph.forID))
 		}
-		if c.table[ph.points.ID] != ph.points {
-			panic(fmt.Sprintf("cache: placeholder for %v points to evicted block", id))
+		if c.table.get(ph.points.ID.pack()) != ph.points {
+			panic(fmt.Sprintf("cache: placeholder for %v points to evicted block", ph.forID))
 		}
-	}
+	})
 }

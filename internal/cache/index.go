@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"math/bits"
+
+	"repro/internal/fs"
+)
+
+// key is a BlockID packed into one machine word: the file id in the
+// high 32 bits, the block number in the low 32. The packing is a
+// bijection for any (int32, int32) pair, so it is collision-free as
+// long as fs.FileID and BlockID.Num remain 32-bit types. That is a
+// load-bearing invariant: widening either type silently truncates here
+// and aliases distinct blocks. TestPackBijective pins it.
+type key uint64
+
+// pack converts a BlockID to its table key.
+func (id BlockID) pack() key {
+	return key(uint64(uint32(id.File))<<32 | uint64(uint32(id.Num)))
+}
+
+// file recovers the file id from a packed key.
+func (k key) file() fs.FileID { return fs.FileID(int32(uint32(k >> 32))) }
+
+// num recovers the block number from a packed key.
+func (k key) num() int32 { return int32(uint32(k)) }
+
+// unpack inverts pack.
+func (k key) unpack() BlockID { return BlockID{File: k.file(), Num: k.num()} }
+
+// fib64 is 2^64 / phi, the Fibonacci-hashing multiplier: multiplying a
+// key by it diffuses low-entropy block numbers into the high bits,
+// which home() then uses to pick a slot.
+const fib64 = 0x9E3779B97F4A7C15
+
+// oaTable is an open-addressing hash table from packed block keys to
+// pointers, specialized for the cache hot path where Go's built-in map
+// (hash of a 2-field struct key, bucket chasing, write barriers on
+// delete) dominated the lookup profile. Power-of-two capacity, linear
+// probing, and tombstone-free deletion by backward shift keep probes
+// short forever — there is no accumulated deletion debris to rehash
+// away. The zero value is an empty table; reserve pre-sizes it so a
+// table with a bounded population (the buffer index is capped by the
+// cache capacity) never rehashes — and never allocates — after
+// construction.
+type oaTable[V any] struct {
+	keys  []key
+	vals  []*V
+	n     int
+	shift uint // 64 - log2(len(keys)); home slots come from the hash's high bits
+}
+
+// home returns k's preferred slot.
+func (t *oaTable[V]) home(k key) uint64 { return (uint64(k) * fib64) >> t.shift }
+
+// len returns the number of entries.
+func (t *oaTable[V]) len() int { return t.n }
+
+// reserve grows the table so it can hold n entries within the 3/4 load
+// factor without further rehashing.
+func (t *oaTable[V]) reserve(n int) {
+	want := 16
+	for want*3 < n*4 {
+		want <<= 1
+	}
+	if want > len(t.keys) {
+		t.rehash(want)
+	}
+}
+
+// rehash resizes to size slots (a power of two) and reinserts.
+func (t *oaTable[V]) rehash(size int) {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]key, size)
+	t.vals = make([]*V, size)
+	t.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	t.n = 0
+	for i, v := range oldVals {
+		if v != nil {
+			t.insert(oldKeys[i], v)
+		}
+	}
+}
+
+// get returns the value for k, or nil.
+func (t *oaTable[V]) get(k key) *V {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.home(k); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == nil {
+			return nil
+		}
+		if t.keys[i] == k {
+			return v
+		}
+	}
+}
+
+// put inserts or replaces the entry for k. v must not be nil (nil
+// values encode empty slots).
+func (t *oaTable[V]) put(k key, v *V) {
+	if len(t.keys) == 0 || (t.n+1)*4 > len(t.keys)*3 {
+		size := len(t.keys) * 2
+		if size < 16 {
+			size = 16
+		}
+		t.rehash(size)
+	}
+	t.insert(k, v)
+}
+
+// insert is put without the growth check (rehash reuses it).
+func (t *oaTable[V]) insert(k key, v *V) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.home(k); ; i = (i + 1) & mask {
+		if t.vals[i] == nil {
+			t.keys[i], t.vals[i] = k, v
+			t.n++
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// del removes the entry for k if present. Instead of leaving a
+// tombstone it shifts the tail of the probe chain back over the hole:
+// any later entry whose home slot lies at or before the hole (in
+// cyclic probe order) moves into it, repeating until a truly empty
+// slot ends the chain.
+func (t *oaTable[V]) del(k key) {
+	if t.n == 0 {
+		return
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.home(k)
+	for {
+		if t.vals[i] == nil {
+			return // absent
+		}
+		if t.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	hole := i
+	j := i
+	for {
+		j = (j + 1) & mask
+		if t.vals[j] == nil {
+			break
+		}
+		// The entry at j may fill the hole unless its home slot lies
+		// cyclically within (hole, j] — moving such an entry would put
+		// it before its home and make it unreachable.
+		if h := t.home(t.keys[j]); cyclicBetween(hole, h, j) {
+			continue
+		}
+		t.keys[hole], t.vals[hole] = t.keys[j], t.vals[j]
+		hole = j
+	}
+	t.keys[hole], t.vals[hole] = 0, nil
+}
+
+// cyclicBetween reports whether h lies in the cyclic half-open
+// interval (i, j].
+func cyclicBetween(i, h, j uint64) bool {
+	if i <= j {
+		return i < h && h <= j
+	}
+	return h > i || h <= j
+}
+
+// forEach visits every entry. The table must not be mutated during the
+// walk; callers that delete collect first.
+func (t *oaTable[V]) forEach(f func(k key, v *V)) {
+	for i, v := range t.vals {
+		if v != nil {
+			f(t.keys[i], v)
+		}
+	}
+}

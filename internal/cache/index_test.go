@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/fs"
+)
+
+// TestPackBijective pins the collision-freedom invariant of the packed
+// key: pack must round-trip every (int32, int32) corner exactly, since
+// the whole block index rides on it.
+func TestPackBijective(t *testing.T) {
+	corners := []int32{0, 1, -1, 2, 819, 1 << 20, -(1 << 20), 1<<31 - 1, -1 << 31}
+	seen := make(map[key]BlockID)
+	for _, f := range corners {
+		for _, n := range corners {
+			id := BlockID{File: fs.FileID(f), Num: n}
+			k := id.pack()
+			if got := k.unpack(); got != id {
+				t.Fatalf("pack/unpack %v = %v", id, got)
+			}
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key collision: %v and %v both pack to %#x", prev, id, uint64(k))
+			}
+			seen[k] = id
+		}
+	}
+}
+
+// lcg is a tiny deterministic generator for the table stress test.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 16
+}
+
+// TestOATableAgainstMap drives the open-addressing table with a random
+// mix of puts, deletes and lookups and checks every observable against
+// a reference map. The small key range forces long probe chains and
+// exercises the backward-shift deletion's wrap-around cases.
+func TestOATableAgainstMap(t *testing.T) {
+	var tab oaTable[int]
+	ref := make(map[key]*int)
+	r := lcg(1)
+	for step := 0; step < 200000; step++ {
+		k := key(r.next() % 97) // dense: constant collisions
+		switch r.next() % 3 {
+		case 0:
+			v := new(int)
+			*v = step
+			tab.put(k, v)
+			ref[k] = v
+		case 1:
+			tab.del(k)
+			delete(ref, k)
+		case 2:
+			if got, want := tab.get(k), ref[k]; got != want {
+				t.Fatalf("step %d: get(%d) = %v, want %v", step, k, got, want)
+			}
+		}
+		if tab.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, tab.len(), len(ref))
+		}
+	}
+	n := 0
+	tab.forEach(func(k key, v *int) {
+		n++
+		if ref[k] != v {
+			t.Fatalf("forEach visited stale entry %d", k)
+		}
+	})
+	if n != len(ref) {
+		t.Fatalf("forEach visited %d entries, want %d", n, len(ref))
+	}
+}
+
+// TestOATableReserveNoRehash verifies that a reserved table never
+// allocates again while its population stays within the reservation —
+// the property the buffer index relies on for the zero-alloc hot path.
+func TestOATableReserveNoRehash(t *testing.T) {
+	var tab oaTable[int]
+	tab.reserve(819)
+	vals := make([]*int, 819)
+	for i := range vals {
+		vals[i] = new(int)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 819; i++ {
+			tab.put(key(i)<<32|key(i), vals[i])
+		}
+		for i := 0; i < 819; i++ {
+			tab.del(key(i)<<32 | key(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reserved table allocated %.1f times per fill/drain cycle, want 0", allocs)
+	}
+}

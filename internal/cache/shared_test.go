@@ -83,7 +83,7 @@ func TestSharedTransferToUnmanaged(t *testing.T) {
 	if b.Owner != 7 {
 		t.Fatalf("owner = %d, want 7", b.Owner)
 	}
-	if b.Aux != nil {
+	if b.ACM().Level != nil {
 		t.Error("ACM state survived transfer to unmanaged owner")
 	}
 	// Replacement of this block must not consult anyone.

@@ -9,7 +9,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/acm"
 	"repro/internal/cache"
@@ -21,8 +20,9 @@ import (
 
 // ioPending marks a buffer whose fill I/O has not completed; the elevator
 // decides the real completion time, so until then the buffer is busy
-// forever as far as Busy() is concerned.
-const ioPending = sim.Time(math.MaxInt64)
+// forever as far as Busy() is concerned. The sentinel is defined by the
+// cache so it knows not to recycle such a buffer on eviction.
+const ioPending = cache.IOPending
 
 // BlockSize is the file-system block size (8 KB, as in Ultrix).
 const BlockSize = disk.BlockSize
@@ -323,11 +323,11 @@ func (s *System) startFill(f *fs.File, buf *cache.Buf, blk int32) *sim.Cond {
 // eviction (with write-back of a dirty victim) plus the simulated cost of
 // any manager consultation under an upcall-based implementation.
 func (s *System) insertBlock(p *Proc, id cache.BlockID) *cache.Buf {
-	before := s.bc.Stats().Consults
+	before := s.bc.Consults()
 	buf, victim := s.bc.Insert(id, p.id, p.sp.Now())
 	s.flushVictim(victim)
 	if s.cfg.UpcallCPU > 0 {
-		if consults := s.bc.Stats().Consults - before; consults > 0 {
+		if consults := s.bc.Consults() - before; consults > 0 {
 			s.useCPU(p.sp, sim.Time(consults)*s.cfg.UpcallCPU)
 		}
 	}
