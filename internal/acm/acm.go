@@ -257,6 +257,12 @@ func (a *ACM) NewBlock(b *cache.Buf) {
 		return
 	}
 	nd := b.ACM()
+	if nd.Level != nil {
+		// Defensive: a node the kernel failed to block_gone (it should
+		// never happen) must leave its old list before relinking, or the
+		// two level lists would splice together.
+		nd.Level.Unlink(nd)
+	}
 	nd.Buf = b
 	l.LinkMRU(nd)
 	m.NewBlocks++

@@ -420,17 +420,21 @@ func TestObliviousManagerStillLRU(t *testing.T) {
 	}
 }
 
-// TestQuickACMInvariants hits the ACM with random fbehavior traffic and
-// checks structural invariants.
+// TestQuickACMInvariants hits the ACM with random fbehavior traffic —
+// two managed owners over shared files with ownership transfer, plus
+// random revocation flips — and checks structural invariants.
 func TestQuickACMInvariants(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := sim.NewRand(seed)
 		h := &harness{}
 		h.a = acm.New(func() sim.Time { return h.now }, acm.Limits{})
-		h.c = cache.New(cache.Config{Capacity: 20, Alloc: cache.LRUSP}, h.a)
+		h.c = cache.New(cache.Config{Capacity: 20, Alloc: cache.LRUSP, SharedTransfer: true}, h.a)
 		m, _ := h.a.CreateManager(1)
+		if _, err := h.a.CreateManager(2); err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < 2000; i++ {
-			switch rng.Intn(10) {
+			switch rng.Intn(12) {
 			case 0:
 				m.SetPriority(fs.FileID(1+rng.Intn(3)), rng.Intn(3)-1)
 			case 1:
@@ -438,8 +442,16 @@ func TestQuickACMInvariants(t *testing.T) {
 			case 2:
 				lo := int32(rng.Intn(30))
 				m.SetTempPri(fs.FileID(1+rng.Intn(3)), lo, lo+int32(rng.Intn(5)), rng.Intn(3)-1)
+			case 3:
+				// Revocation must leave evictions and transfers of the
+				// owner's still-linked blocks structurally clean.
+				h.c.Owner(1+rng.Intn(2)).Revoked = rng.Intn(2) == 0
 			default:
-				h.read(1, fs.FileID(1+rng.Intn(3)), int32(rng.Intn(30)))
+				owner := 1 + rng.Intn(2)
+				id := cache.BlockID{File: fs.FileID(1 + rng.Intn(3)), Num: int32(rng.Intn(30))}
+				if h.c.LookupBy(id, owner, 0, 8192) == nil {
+					h.c.Insert(id, owner, h.now)
+				}
 			}
 			if i%250 == 0 {
 				h.a.CheckInvariants()
@@ -522,6 +534,65 @@ func TestSetTempPriSamePriorityClearsTemp(t *testing.T) {
 		t.Fatalf("LevelSizes = %v", sizes)
 	}
 	h.a.CheckInvariants()
+}
+
+// TestRevokedOwnerEvictionUnlinks: revocation flips managed() off but
+// does not unlink the owner's blocks from its ACM levels, so block_gone
+// must still fire when those blocks are evicted. Before the fix the
+// eviction skipped block_gone, freeBuf zeroed the still-linked embedded
+// node, and the recycled buffer was relinked into another owner's level
+// — corrupting both intrusive lists.
+func TestRevokedOwnerEvictionUnlinks(t *testing.T) {
+	h := newHarness(t, 4, cache.LRUSP)
+	if _, err := h.a.CreateManager(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.a.CreateManager(2); err != nil {
+		t.Fatal(err)
+	}
+	for b := int32(0); b < 4; b++ {
+		h.read(1, 1, b)
+	}
+	h.c.Owner(1).Revoked = true
+	// Evict all of owner 1's blocks; the recycled buffers are reused for
+	// owner 2's blocks and linked into owner 2's level.
+	for b := int32(0); b < 8; b++ {
+		h.read(2, 2, b)
+	}
+	h.a.CheckInvariants()
+	h.c.CheckInvariants()
+	if m, _ := h.a.ManagerOf(1); m.GoneBlocks != 4 {
+		t.Errorf("GoneBlocks = %d, want 4: revoked owner's evictions must still unlink", m.GoneBlocks)
+	}
+}
+
+// TestSharedTransferFromRevokedOwner: same root cause on the ownership
+// transfer path — a hit by another process on a revoked owner's block
+// must unlink the embedded node from the old level before new_block
+// links it into the accessor's, or the two level lists get spliced.
+func TestSharedTransferFromRevokedOwner(t *testing.T) {
+	h := &harness{}
+	h.a = acm.New(func() sim.Time { return h.now }, acm.Limits{})
+	h.c = cache.New(cache.Config{Capacity: 8, Alloc: cache.LRUSP, SharedTransfer: true}, h.a)
+	if _, err := h.a.CreateManager(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.a.CreateManager(2); err != nil {
+		t.Fatal(err)
+	}
+	h.read(1, 1, 0)
+	h.read(1, 1, 1)
+	h.read(2, 2, 0)
+	h.c.Owner(1).Revoked = true
+	// Owner 2 hits owner 1's block: ownership transfers.
+	if b := h.c.LookupBy(cache.BlockID{File: 1, Num: 0}, 2, 0, 8192); b == nil {
+		t.Fatal("expected hit")
+	}
+	h.a.CheckInvariants()
+	h.c.CheckInvariants()
+	if got := h.c.Stats().Transfers; got != 1 {
+		t.Errorf("Transfers = %d, want 1", got)
+	}
 }
 
 // TestBlockAccessedZeroAllocs pins the intrusive-node design: the

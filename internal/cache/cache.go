@@ -236,6 +236,7 @@ type Cache struct {
 	repl       Replacer
 	stats      Stats
 	owners     []*OwnerStats // indexed by owner id; nil = no record yet
+	noOwner    OwnerStats    // shared record for all negative owner ids
 
 	// arena backs every buffer; freeBufs chains recyclable ones through
 	// gnext. Buffers evicted mid-fill (ValidAt == IOPending) are the one
@@ -265,6 +266,12 @@ func New(cfg Config, repl Replacer) *Cache {
 	c.head.gnext = c.tail
 	c.tail.gprev = c.head
 	c.table.reserve(cfg.Capacity)
+	if cfg.Alloc.placeholders() {
+		// Pre-size the placeholder index too: its population tracks the
+		// cached blocks placeholders point at, so reserving capacity
+		// keeps steady-state placeholder churn rehash- and alloc-free.
+		c.ph.reserve(cfg.Capacity)
+	}
 	c.arena = make([]Buf, cfg.Capacity)
 	for i := range c.arena {
 		c.arena[i].gnext = c.freeBufs
@@ -292,6 +299,13 @@ func (c *Cache) allocBuf(id BlockID, owner int) *Buf {
 func (c *Cache) freeBuf(b *Buf) {
 	if b.ValidAt == IOPending {
 		return
+	}
+	// Safety net: the embedded ACM node must leave its level list before
+	// the buffer is zeroed and recycled, or the list neighbors would keep
+	// pointing into a reused buffer. remove() sends block_gone first, so
+	// this fires only if some path missed the upcall.
+	if b.acm.Level != nil {
+		b.acm.Level.Unlink(&b.acm)
 	}
 	holders := b.holders[:0] // keep the slice's capacity across reuse
 	*b = Buf{}
@@ -338,11 +352,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) Consults() int64 { return c.stats.Consults }
 
 // Owner returns the decision-quality record for a manager id, creating it
-// on first use. A negative id gets a throwaway record: the kernel keeps no
-// book on NoOwner.
+// on first use. All negative ids share one scratch record: the kernel
+// keeps no per-process book on NoOwner, but counters recorded against it
+// still accumulate (and the call stays allocation-free).
 func (c *Cache) Owner(id int) *OwnerStats {
 	if id < 0 {
-		return &OwnerStats{}
+		return &c.noOwner
 	}
 	for len(c.owners) <= id {
 		c.owners = append(c.owners, nil)
@@ -479,7 +494,12 @@ func (c *Cache) LookupBy(id BlockID, accessor int, off, size int) *Buf {
 
 // transferOwner hands b from its current manager to the accessor's.
 func (c *Cache) transferOwner(b *Buf, accessor int) {
-	if c.managed(b.Owner) {
+	// block_gone must fire even when managed(b.Owner) is false: a
+	// *revoked* owner's blocks stay linked in its ACM levels (revocation
+	// stops consultations, it does not unlink state), and re-owning a
+	// still-linked node would let new_block splice two level lists
+	// together. BlockGone no-ops on an unlinked node.
+	if c.repl != nil {
 		c.repl.BlockGone(b)
 	}
 	b.Owner = accessor
@@ -625,7 +645,10 @@ func (c *Cache) remove(b *Buf) {
 		c.freePlaceholder(ph)
 	}
 	b.holders = b.holders[:0]
-	if c.managed(b.Owner) {
+	// Unconditionally, not gated on managed(): a revoked owner's blocks
+	// are still linked in its ACM levels, and recycling a linked node
+	// would corrupt the intrusive lists. BlockGone no-ops when unlinked.
+	if c.repl != nil {
 		c.repl.BlockGone(b)
 	}
 	c.freeBuf(b)

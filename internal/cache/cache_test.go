@@ -647,6 +647,23 @@ func TestRecordDecisionSkipsNoOwner(t *testing.T) {
 	}
 }
 
+func TestOwnerNegativeIDsShareScratchRecord(t *testing.T) {
+	// Negative ids all resolve to one persistent scratch record, so
+	// counters recorded against NoOwner accumulate instead of vanishing
+	// into a throwaway allocation.
+	c := cache.New(cache.Config{Capacity: 2, Alloc: cache.GlobalLRU}, nil)
+	c.Owner(cache.NoOwner).Mistakes++
+	if got := c.Owner(-7).Mistakes; got != 1 {
+		t.Errorf("scratch Mistakes = %d, want 1", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Owner(cache.NoOwner).Decisions++
+	})
+	if allocs != 0 {
+		t.Errorf("Owner(NoOwner) allocated %.2f/op, want 0", allocs)
+	}
+}
+
 func TestVindicationCounted(t *testing.T) {
 	c, m := setupOverrule(t, cache.LRUSP)
 	get(c, id(3), 1) // overrule: placeholder for 2 -> block 0

@@ -100,15 +100,32 @@ func (t *oaTable[V]) get(k key) *V {
 }
 
 // put inserts or replaces the entry for k. v must not be nil (nil
-// values encode empty slots).
+// values encode empty slots). The existing-key probe runs before the
+// growth check so that replacing a value never rehashes, even at the
+// load-factor threshold.
 func (t *oaTable[V]) put(k key, v *V) {
-	if len(t.keys) == 0 || (t.n+1)*4 > len(t.keys)*3 {
-		size := len(t.keys) * 2
-		if size < 16 {
-			size = 16
+	if len(t.keys) != 0 {
+		mask := uint64(len(t.keys) - 1)
+		i := t.home(k)
+		for ; t.vals[i] != nil; i = (i + 1) & mask {
+			if t.keys[i] == k {
+				t.vals[i] = v
+				return
+			}
 		}
-		t.rehash(size)
+		// i is the empty slot the probe stopped at; fill it directly if
+		// the insert fits the 3/4 load factor.
+		if (t.n+1)*4 <= len(t.keys)*3 {
+			t.keys[i], t.vals[i] = k, v
+			t.n++
+			return
+		}
 	}
+	size := len(t.keys) * 2
+	if size < 16 {
+		size = 16
+	}
+	t.rehash(size)
 	t.insert(k, v)
 }
 

@@ -75,6 +75,32 @@ func TestOATableAgainstMap(t *testing.T) {
 	}
 }
 
+// TestOATablePutUpdateAtThresholdNoRehash: replacing the value of an
+// existing key is not an insert and must never grow the table, even
+// when the population sits exactly at the 3/4 load threshold (the old
+// order of checks rehashed first and asked questions later).
+func TestOATablePutUpdateAtThresholdNoRehash(t *testing.T) {
+	var tab oaTable[int]
+	v := new(int)
+	for i := 0; i < 12; i++ { // 12 = the most a 16-slot table holds at 3/4
+		tab.put(key(i), v)
+	}
+	if len(tab.keys) != 16 || tab.len() != 12 {
+		t.Fatalf("size %d len %d, want 16/12", len(tab.keys), tab.len())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 12; i++ {
+			tab.put(key(i), v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("value updates at the load threshold allocated %.1f/run, want 0", allocs)
+	}
+	if len(tab.keys) != 16 {
+		t.Errorf("updates grew the table to %d slots, want 16", len(tab.keys))
+	}
+}
+
 // TestOATableReserveNoRehash verifies that a reserved table never
 // allocates again while its population stays within the reservation —
 // the property the buffer index relies on for the zero-alloc hot path.
