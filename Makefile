@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-json experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json experiments charts fuzz clean outputs
 
 all: check
 
@@ -28,6 +28,12 @@ bench:
 # path, two-level miss path, and the full evict/placeholder cycle.
 bench-cache:
 	$(GO) test ./internal/cache -run '^$$' -bench 'LookupHit|MissEvict|MissReplace' -benchmem -count 5
+
+# The DES engine microbenchmarks, repeated for benchstat: the lookahead
+# fast path vs the parked slow path, the forced-handoff interleave, and
+# the event-heap push/pop cycle.
+bench-sim:
+	$(GO) test ./internal/sim -run '^$$' -bench 'Sleep|TwoProcInterleave|EventHeap' -benchmem -count 5
 
 # Machine-readable experiment timings + run-cache stats (BENCH trajectory).
 bench-json:

@@ -7,7 +7,7 @@
 //
 //	acbench [-run all|fig4|fig5|fig6|table1|table2|table3|table4|ablation]
 //	        [-sizes 6.4,8,12,16] [-parallel N] [-json] [-charts]
-//	        [-cpuprofile file] [-memprofile file]
+//	        [-cpuprofile file] [-memprofile file] [-nofastpath]
 //
 // -parallel N runs up to N independent simulations concurrently (default
 // GOMAXPROCS; 1 selects the legacy serial path). Every simulation is a
@@ -19,11 +19,19 @@
 // invocation.
 //
 // -json replaces the tables on stdout with a machine-readable report:
-// per-experiment wall-clock timings, totals, and run-cache
-// hit/miss/bypass counters, grouped per parallelism level under "runs".
-// Without an explicit -parallel, the suite is timed twice — serial and
-// at GOMAXPROCS — so the report captures the scheduler speedup; with
+// per-experiment wall-clock timings, totals, run-cache hit/miss/bypass
+// counters, and the aggregated DES engine counters (events scheduled,
+// goroutine handoffs, lookahead fast advances, heap high-water), grouped
+// per parallelism level under "runs". Without an explicit -parallel, the
+// suite is timed twice — serial and at GOMAXPROCS — so the report
+// captures the scheduler speedup (on a single-CPU machine only the
+// serial entry is emitted, since GOMAXPROCS coincides with it); with
 // -parallel N it records that single level.
+//
+// -nofastpath forces every virtual-time sleep through the event heap and
+// scheduler, disabling the engine's lookahead fast path. Tables and
+// figures are byte-identical either way — the flag exists to verify
+// exactly that, and to A/B the fast path's wall-clock contribution.
 //
 // -charts renders Figures 4-6 as ASCII bar charts instead of tables. It
 // honors -parallel and -sizes (the chart runs go through the same
@@ -52,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/sim"
 )
 
 // expTiming is one experiment's wall-clock cost in the -json report.
@@ -67,6 +76,10 @@ type jsonRun struct {
 	Experiments []expTiming      `json:"experiments"`
 	TotalMillis float64          `json:"total_wall_ms"`
 	RunCache    expt.RunnerStats `json:"run_cache"`
+	// Sim aggregates the DES engine counters over every simulation the
+	// sweep executed: fast_advances vs handoffs shows how much of the
+	// virtual-time advancement skipped the goroutine scheduler.
+	Sim sim.Stats `json:"sim"`
 }
 
 // jsonReport is the -json output document.
@@ -87,7 +100,10 @@ func run() int {
 	jsonFlag := flag.Bool("json", false, "emit machine-readable timings and run-cache stats instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
 	memProfile := flag.String("memprofile", "", "write a post-GC heap profile at exit to `file`")
+	noFastPath := flag.Bool("nofastpath", false, "disable the DES engine's lookahead fast path (output must be byte-identical; for verification and A/B timing)")
 	flag.Parse()
+
+	expt.SetDefaultNoFastPath(*noFastPath)
 
 	if isSet("parallel") && *parallelFlag < 1 {
 		fmt.Fprintf(os.Stderr, "acbench: -parallel must be >= 1 (got %d)\n", *parallelFlag)
@@ -158,10 +174,15 @@ func run() int {
 
 	// -json: time the suite per parallelism level. Without an explicit
 	// -parallel, record both the serial baseline and the GOMAXPROCS
-	// sweep so the report captures the scheduler speedup.
+	// sweep so the report captures the scheduler speedup — except on a
+	// single-CPU machine, where GOMAXPROCS is also 1 and a second entry
+	// would just repeat the serial measurement.
 	levels := []int{*parallelFlag}
 	if !isSet("parallel") {
-		levels = []int{1, 0}
+		levels = []int{1}
+		if runtime.GOMAXPROCS(0) > 1 {
+			levels = append(levels, 0)
+		}
 	}
 	report := jsonReport{Run: *runFlag}
 	for _, lvl := range levels {
@@ -202,6 +223,7 @@ func runSuite(runner *expt.Runner, ids []string, sizes []float64, out io.Writer)
 	}
 	res.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	res.RunCache = runner.Stats()
+	res.Sim = runner.SimStats()
 	return res
 }
 

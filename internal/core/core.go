@@ -115,6 +115,13 @@ type Config struct {
 	// writes, not read-ahead) as it happens. Useful for dumping or
 	// characterizing reference streams.
 	Trace func(TraceEvent)
+
+	// NoSimFastPath forces every virtual-time sleep through the DES
+	// event heap and scheduler, disabling the engine's lookahead fast
+	// path. Results are identical either way (differential tests prove
+	// it); the flag exists for those tests and for isolating the fast
+	// path's contribution in benchmarks.
+	NoSimFastPath bool
 }
 
 // TraceEvent describes one block access for Config.Trace.
@@ -189,7 +196,11 @@ func NewSystem(cfg Config) *System {
 		cfg.Disks = []disk.Geometry{disk.RZ56, disk.RZ26}
 	}
 	s := &System{cfg: cfg, pendingIO: make(map[*cache.Buf]*sim.Cond)}
-	s.eng = sim.New()
+	if cfg.NoSimFastPath {
+		s.eng = sim.New(sim.DisableFastPath)
+	} else {
+		s.eng = sim.New()
+	}
 	s.cpu = s.eng.NewResource("cpu")
 	s.bus = disk.NewBus(s.eng)
 	var caps []int
@@ -221,6 +232,10 @@ func (s *System) InodeCache() *meta.Cache { return s.inode }
 
 // Engine exposes the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.eng }
+
+// SimStats returns the engine's event/handoff counters (meaningful after
+// Run).
+func (s *System) SimStats() sim.Stats { return s.eng.Stats() }
 
 // FS exposes the file system (for test setup).
 func (s *System) FS() *fs.FileSystem { return s.fsys }

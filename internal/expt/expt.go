@@ -45,6 +45,9 @@ type RunSpec struct {
 	UpcallCPU sim.Time
 	// FIFODisk replaces the C-LOOK elevator with arrival-order service.
 	FIFODisk bool
+	// NoFastPath disables the DES engine's lookahead fast path, forcing
+	// every sleep through the scheduler (for differential tests).
+	NoFastPath bool
 	// Trace, when non-nil, receives every block access.
 	Trace func(core.TraceEvent)
 }
@@ -57,13 +60,25 @@ type AppResult struct {
 	Stats    core.ProcStats
 }
 
+// noFastPathDefault, when set, disables the DES lookahead fast path for
+// every run regardless of RunSpec.NoFastPath. See SetDefaultNoFastPath.
+var noFastPathDefault bool
+
+// SetDefaultNoFastPath force-disables (or re-enables) the engine fast
+// path process-wide, for verifying that whole experiment suites are
+// byte-identical either way (acbench -nofastpath). Call it once, before
+// submitting any runs: the memo cache keys on the effective setting at
+// submission time, so toggling mid-suite would conflate entries.
+func SetDefaultNoFastPath(v bool) { noFastPathDefault = v }
+
 // RunResult is one machine execution's outcome.
 type RunResult struct {
 	PerApp       []AppResult
 	TotalElapsed sim.Time // all applications finished
 	TotalIOs     int64
 	CacheStats   cache.Stats
-	MaxQueue     int // deepest disk queue seen on any drive
+	MaxQueue     int       // deepest disk queue seen on any drive
+	Sim          sim.Stats // DES engine counters for this machine
 }
 
 // RunStats summarizes repeated runs of one spec with varying seeds, the
@@ -148,6 +163,7 @@ func Run(spec RunSpec) RunResult {
 		cfg.DiskSched = disk.FIFO
 	}
 	cfg.Trace = spec.Trace
+	cfg.NoSimFastPath = spec.NoFastPath || noFastPathDefault
 	sys := core.NewSystem(cfg)
 	procs := make([]*core.Proc, 0, len(spec.Apps))
 	apps := make([]workload.App, 0, len(spec.Apps))
@@ -159,6 +175,7 @@ func Run(spec RunSpec) RunResult {
 	sys.Run()
 	res := RunResult{
 		CacheStats: sys.Cache().Stats(),
+		Sim:        sys.SimStats(),
 		PerApp:     make([]AppResult, 0, len(procs)),
 	}
 	for i := 0; i < 2; i++ {

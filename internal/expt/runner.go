@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // Runner schedules RunSpec executions across a pool of workers and
@@ -33,6 +34,7 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*Future
 	stats RunnerStats
+	sim   sim.Stats // aggregated over every executed simulation
 }
 
 // RunnerStats counts scheduler activity. Executed is the number of
@@ -84,6 +86,18 @@ func (r *Runner) Stats() RunnerStats {
 	return r.stats
 }
 
+// SimStats returns the DES engine counters aggregated over every
+// simulation this Runner executed (cache hits contribute once, when they
+// actually ran). Counter fields sum; HeapHighWater is the max over runs.
+func (r *Runner) SimStats() sim.Stats {
+	if r == nil {
+		return sim.Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sim
+}
+
 // Future is a pending (or completed) RunResult.
 type Future struct {
 	spec RunSpec
@@ -98,6 +112,7 @@ func (f *Future) run(r *Runner) {
 		if r != nil {
 			r.mu.Lock()
 			r.stats.Executed++
+			r.sim.Accumulate(f.res.Sim)
 			r.mu.Unlock()
 		}
 		close(f.done)
@@ -187,9 +202,10 @@ func fingerprint(spec RunSpec) (string, bool) {
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	fmt.Fprintf(&b, "|mb=%g|alloc=%d|seed=%d|rev=%t/%d/%g|raoff=%t|rad=%d|ss=%t|up=%d|fifo=%t",
+	fmt.Fprintf(&b, "|mb=%g|alloc=%d|seed=%d|rev=%t/%d/%g|raoff=%t|rad=%d|ss=%t|up=%d|fifo=%t|nofast=%t",
 		spec.CacheMB, spec.Alloc, seed,
 		spec.Revoke.Enabled, spec.Revoke.MinDecisions, spec.Revoke.MistakeRatio,
-		spec.ReadAheadOff, spec.ReadAheadDepth, spec.SpreadSync, spec.UpcallCPU, spec.FIFODisk)
+		spec.ReadAheadOff, spec.ReadAheadDepth, spec.SpreadSync, spec.UpcallCPU, spec.FIFODisk,
+		spec.NoFastPath || noFastPathDefault)
 	return b.String(), true
 }

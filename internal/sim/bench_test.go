@@ -2,9 +2,10 @@ package sim
 
 import "testing"
 
-// BenchmarkHandoff measures the engine's fundamental cost: one
-// park/resume round trip through the scheduler.
-func BenchmarkHandoff(b *testing.B) {
+// BenchmarkSleepFastPath measures the lookahead fast path: a lone
+// process advancing virtual time inline (no heap push, no goroutine
+// handoff).
+func BenchmarkSleepFastPath(b *testing.B) {
 	e := New()
 	e.Spawn("p", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
@@ -15,8 +16,25 @@ func BenchmarkHandoff(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkSleepParked measures the slow path the fast path avoids: the
+// same lone sleeper forced through a heap push plus a park/resume round
+// trip through the scheduler (the engine's pre-lookahead fundamental
+// cost, formerly BenchmarkHandoff).
+func BenchmarkSleepParked(b *testing.B) {
+	e := New(DisableFastPath)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
 // BenchmarkTwoProcInterleave measures alternating wake-ups of two
-// processes — the common multi-application pattern.
+// processes — the common multi-application pattern. Each sleep lands
+// exactly on the other process's pending wake-up, so the fast path never
+// fires and every step is a real handoff.
 func BenchmarkTwoProcInterleave(b *testing.B) {
 	e := New()
 	for pi := 0; pi < 2; pi++ {

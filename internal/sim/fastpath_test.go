@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestFastPathSingleSleeper pins the basic lookahead: a lone process
+// advancing the clock pays no heap traffic and (nearly) no handoffs.
+func TestFastPathSingleSleeper(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	e.Run()
+	st := e.Stats()
+	if st.FastAdvances != 100 {
+		t.Errorf("FastAdvances = %d, want 100", st.FastAdvances)
+	}
+	// One handoff to start the body; none per sleep.
+	if st.Handoffs != 1 {
+		t.Errorf("Handoffs = %d, want 1", st.Handoffs)
+	}
+	// Only the spawn event is ever scheduled.
+	if st.EventsScheduled != 1 {
+		t.Errorf("EventsScheduled = %d, want 1", st.EventsScheduled)
+	}
+	if e.Now() != 100*Millisecond {
+		t.Errorf("ended at %v, want 100ms", e.Now())
+	}
+}
+
+// TestFastPathDisabled proves DisableFastPath restores the all-parked
+// engine: same results, zero fast advances, one event per sleep.
+func TestFastPathDisabled(t *testing.T) {
+	e := New(DisableFastPath)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	e.Run()
+	st := e.Stats()
+	if st.FastAdvances != 0 {
+		t.Errorf("FastAdvances = %d, want 0 with DisableFastPath", st.FastAdvances)
+	}
+	if st.EventsScheduled != 101 { // spawn + 100 sleeps
+		t.Errorf("EventsScheduled = %d, want 101", st.EventsScheduled)
+	}
+	if st.Handoffs != 101 {
+		t.Errorf("Handoffs = %d, want 101", st.Handoffs)
+	}
+	if e.Now() != 100*Millisecond {
+		t.Errorf("ended at %v, want 100ms", e.Now())
+	}
+}
+
+// TestFastPathTieParks pins the tie rule: a sleep landing exactly on the
+// heap's top event must park, because that event was scheduled first and
+// sequence numbers order same-instant wake-ups.
+func TestFastPathTieParks(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.SleepUntil(100) // ties with b's start event: must run after b
+		order = append(order, "a")
+	})
+	e.SpawnAt("b", 100, func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	// a was spawned first, so a runs first at t=0 and calls
+	// SleepUntil(100). b's start event already sits at t=100; a naive
+	// fast path would advance inline and record "a" first.
+	if want := []string{"b", "a"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v (tie must go through the scheduler)", order, want)
+	}
+	if e.Stats().FastAdvances != 0 {
+		t.Errorf("FastAdvances = %d, want 0 (both wake-ups tie-constrained)", e.Stats().FastAdvances)
+	}
+}
+
+// TestFastPathEarlierEventParks: sleeping past another process's earlier
+// wake-up must park so that process runs first.
+func TestFastPathEarlierEventParks(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("late", func(p *Proc) {
+		p.SleepUntil(200)
+		order = append(order, "late")
+	})
+	e.SpawnAt("early", 100, func(p *Proc) {
+		order = append(order, "early")
+	})
+	e.Run()
+	if want := []string{"early", "late"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+// TestFastPathYieldSkipsHeap: Yield with no same-instant event pending is
+// free; with one pending it parks and lets the other process run.
+func TestFastPathYieldSkipsHeap(t *testing.T) {
+	e := New()
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Yield()
+		}
+	})
+	e.Run()
+	if st := e.Stats(); st.FastAdvances != 10 || st.EventsScheduled != 1 {
+		t.Errorf("solo yield: FastAdvances=%d EventsScheduled=%d, want 10 and 1",
+			st.FastAdvances, st.EventsScheduled)
+	}
+
+	// With a same-instant event pending, Yield must reach the scheduler.
+	e2 := New()
+	var order []string
+	e2.Spawn("y", func(p *Proc) {
+		p.Yield() // peer's start event is at the same instant
+		order = append(order, "y")
+	})
+	e2.Spawn("peer", func(p *Proc) {
+		order = append(order, "peer")
+	})
+	e2.Run()
+	if want := []string{"peer", "y"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+// TestFastPathHeapHighWater sanity-checks the high-water counter.
+func TestFastPathHeapHighWater(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.SpawnAt("p", Time(i), func(p *Proc) {})
+	}
+	e.Run()
+	if hw := e.Stats().HeapHighWater; hw != 7 {
+		t.Errorf("HeapHighWater = %d, want 7", hw)
+	}
+}
+
+// TestStatsAccumulate checks the aggregation used by the experiment
+// harness: counters add, the high-water mark takes the max.
+func TestStatsAccumulate(t *testing.T) {
+	a := Stats{EventsScheduled: 1, Handoffs: 2, FastAdvances: 3, HeapHighWater: 9}
+	a.Accumulate(Stats{EventsScheduled: 10, Handoffs: 20, FastAdvances: 30, HeapHighWater: 4})
+	want := Stats{EventsScheduled: 11, Handoffs: 22, FastAdvances: 33, HeapHighWater: 9}
+	if a != want {
+		t.Errorf("Accumulate = %+v, want %+v", a, want)
+	}
+}
+
+// TestSleepFastPathZeroAllocs is the allocation gate for the tentpole:
+// a fast-path sleep is an inline clock bump and must not allocate.
+func TestSleepFastPathZeroAllocs(t *testing.T) {
+	e := New()
+	var allocs float64
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(1) // warm up
+		allocs = testing.AllocsPerRun(200, func() {
+			p.Sleep(1)
+		})
+	})
+	e.Run()
+	if allocs != 0 {
+		t.Errorf("fast-path Sleep allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// scenarioOp is one step of a random process in the equivalence test.
+type scenarioOp struct {
+	kind int // 0 sleep, 1 yield, 2 cond wait, 3 cond signal, 4 spawn child
+	arg  Time
+}
+
+// buildScenario derives a deterministic random mix of sleepers, yielders,
+// cond-waiters, signallers, mid-run spawns and a daemon from the seed.
+func buildScenario(seed uint64) [][]scenarioOp {
+	r := NewRand(seed)
+	procs := make([][]scenarioOp, 2+r.Intn(4))
+	for i := range procs {
+		ops := make([]scenarioOp, 3+r.Intn(8))
+		for j := range ops {
+			ops[j] = scenarioOp{kind: r.Intn(5), arg: Time(r.Intn(40))}
+		}
+		procs[i] = ops
+	}
+	return procs
+}
+
+// runScenario executes the scenario and returns the full observable
+// ordering: every step of every process tagged with its virtual time,
+// plus each process's end time and the final clock.
+func runScenario(procs [][]scenarioOp, opts ...Option) []string {
+	var log []string
+	e := New(opts...)
+	c := e.NewCond()
+	// A daemon signaller guarantees cond-waiters always wake, so no
+	// random mix can deadlock; daemons also exercise shutdown unwinding.
+	e.SpawnDaemon("sig", func(p *Proc) {
+		for {
+			p.Sleep(7)
+			c.Broadcast()
+		}
+	})
+	children := 0
+	for i, ops := range procs {
+		name := fmt.Sprintf("p%d", i)
+		ops := ops
+		e.Spawn(name, func(p *Proc) {
+			for j, o := range ops {
+				switch o.kind {
+				case 0:
+					p.Sleep(o.arg)
+				case 1:
+					p.Yield()
+				case 2:
+					c.Wait(p)
+				case 3:
+					c.Signal()
+				case 4:
+					children++
+					cn := fmt.Sprintf("%s.c%d", name, children)
+					e.SpawnAt(cn, p.Now()+o.arg, func(cp *Proc) {
+						cp.Sleep(o.arg)
+						log = append(log, fmt.Sprintf("%s@%d", cn, cp.Now()))
+					})
+				}
+				log = append(log, fmt.Sprintf("%s.%d@%d", name, j, p.Now()))
+			}
+		})
+	}
+	e.Run()
+	log = append(log, fmt.Sprintf("end@%d", e.Now()))
+	return log
+}
+
+// TestQuickFastParkedEquivalence is the differential property test: for
+// random mixes of sleepers, yielders, cond-waiters, signallers, mid-run
+// spawns and daemons, the fast-path engine must produce exactly the same
+// event ordering as the all-parked engine.
+func TestQuickFastParkedEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		procs := buildScenario(seed)
+		fast := runScenario(procs)
+		parked := runScenario(procs, DisableFastPath)
+		if !reflect.DeepEqual(fast, parked) {
+			t.Fatalf("seed %d: orderings diverge\nfast:   %v\nparked: %v", seed, fast, parked)
+		}
+	}
+}

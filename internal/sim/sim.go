@@ -117,22 +117,68 @@ type Engine struct {
 	events  eventHeap
 	seq     uint64
 	procs   []*Proc
-	yield   chan yieldMsg
+	current *Proc // the process executing right now (nil between steps)
 	started bool
 	killing bool
-	nLive   int // live non-daemon processes
+	noFast  bool // DisableFastPath: every sleep goes through the scheduler
+	nLive   int  // live non-daemon processes
+	stats   Stats
 }
 
 type yieldMsg struct {
-	proc *Proc
 	done bool
 	pani interface{} // non-nil if the proc body panicked
 }
 
-// New returns a fresh simulation engine with the clock at zero.
-func New() *Engine {
-	return &Engine{yield: make(chan yieldMsg)}
+// Stats counts engine activity over a run. The interesting ratio is
+// FastAdvances to Handoffs: every fast advance is a wake-up that moved
+// virtual time inline instead of paying a heap push plus two goroutine
+// context switches.
+type Stats struct {
+	// EventsScheduled is the number of heap pushes (spawns, parked
+	// sleeps, condition signals).
+	EventsScheduled int64 `json:"events_scheduled"`
+	// Handoffs is the number of engine<->process goroutine round trips
+	// (one resume plus one yield each).
+	Handoffs int64 `json:"handoffs"`
+	// FastAdvances is the number of SleepUntil/Sleep/Yield calls that
+	// advanced the clock inline via the lookahead fast path.
+	FastAdvances int64 `json:"fast_advances"`
+	// HeapHighWater is the deepest the event heap ever got.
+	HeapHighWater int `json:"heap_high_water"`
 }
+
+// Accumulate folds o into s: counters add, high-water marks take the max.
+// Used to aggregate the engines of many independent runs.
+func (s *Stats) Accumulate(o Stats) {
+	s.EventsScheduled += o.EventsScheduled
+	s.Handoffs += o.Handoffs
+	s.FastAdvances += o.FastAdvances
+	if o.HeapHighWater > s.HeapHighWater {
+		s.HeapHighWater = o.HeapHighWater
+	}
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// DisableFastPath forces every sleep through the event heap and the
+// goroutine scheduler, disabling the lookahead fast path. The two modes
+// are observationally equivalent (the fast path fires only when it is
+// provably so); this option exists so differential tests can prove it.
+var DisableFastPath Option = func(e *Engine) { e.noFast = true }
+
+// New returns a fresh simulation engine with the clock at zero.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -153,11 +199,17 @@ const (
 // goroutine; all blocking is via the methods on Proc, which cooperate with
 // the engine.
 type Proc struct {
-	eng     *Engine
-	id      int
-	name    string
-	body    func(*Proc)
-	resume  chan struct{}
+	eng  *Engine
+	id   int
+	name string
+	body func(*Proc)
+	// rendez is the single handoff channel between the engine and this
+	// process's goroutine. Control strictly alternates (engine resumes,
+	// process yields), so one unbuffered channel serves both directions:
+	// the engine sends the resume token and then blocks receiving the
+	// yield; the process sends the yield and then blocks receiving the
+	// next resume.
+	rendez  chan yieldMsg
 	state   ProcState
 	daemon  bool
 	start   Time // virtual time the body begins
@@ -222,7 +274,7 @@ func (e *Engine) spawn(name string, at Time, body func(*Proc), daemon bool) *Pro
 		id:     len(e.procs),
 		name:   name,
 		body:   body,
-		resume: make(chan struct{}),
+		rendez: make(chan yieldMsg),
 		start:  at,
 		daemon: daemon,
 	}
@@ -237,6 +289,10 @@ func (e *Engine) spawn(name string, at Time, body func(*Proc), daemon bool) *Pro
 func (e *Engine) schedule(at Time, p *Proc) {
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, proc: p})
+	e.stats.EventsScheduled++
+	if n := len(e.events); n > e.stats.HeapHighWater {
+		e.stats.HeapHighWater = n
+	}
 }
 
 // errKilled is the sentinel panic value used to unwind abandoned daemon
@@ -284,8 +340,8 @@ func (e *Engine) shutdownDaemons() {
 		if !p.daemon || p.state != Running {
 			continue
 		}
-		p.resume <- struct{}{}
-		msg := <-e.yield
+		p.rendez <- yieldMsg{}
+		msg := <-p.rendez
 		if msg.pani != nil {
 			if _, ok := msg.pani.(killedError); !ok {
 				panic(msg.pani)
@@ -307,8 +363,10 @@ func (e *Engine) liveNames() []string {
 	return names
 }
 
-// step resumes process p and waits for it to yield back.
+// step resumes process p and waits for it to yield back. While p runs it
+// is e.current, which is what entitles it to the SleepUntil fast path.
 func (e *Engine) step(p *Proc) {
+	e.current = p
 	switch p.state {
 	case Created:
 		p.state = Running
@@ -316,27 +374,29 @@ func (e *Engine) step(p *Proc) {
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
-					e.yield <- yieldMsg{proc: p, done: true, pani: r}
+					p.rendez <- yieldMsg{done: true, pani: r}
 					return
 				}
 			}()
 			p.body(p)
-			e.yield <- yieldMsg{proc: p, done: true}
+			p.rendez <- yieldMsg{done: true}
 		}()
 	case Running:
-		p.resume <- struct{}{}
+		p.rendez <- yieldMsg{}
 	case Done:
+		e.current = nil
 		return
 	}
-	msg := <-e.yield
+	e.stats.Handoffs++
+	msg := <-p.rendez
+	e.current = nil
 	if msg.pani != nil {
 		panic(msg.pani)
 	}
 	if msg.done {
-		mp := msg.proc
-		mp.state = Done
-		mp.end = e.now
-		if !mp.daemon {
+		p.state = Done
+		p.end = e.now
+		if !p.daemon {
 			e.nLive--
 		}
 	}
@@ -345,8 +405,8 @@ func (e *Engine) step(p *Proc) {
 // park blocks the calling process goroutine until the engine resumes it.
 // Must be called from within the process's own body.
 func (p *Proc) park() {
-	p.eng.yield <- yieldMsg{proc: p}
-	<-p.resume
+	p.rendez <- yieldMsg{}
+	<-p.rendez
 	if p.eng.killing {
 		panic(killedError{})
 	}
@@ -355,11 +415,28 @@ func (p *Proc) park() {
 // SleepUntil blocks the process until virtual time t. Sleeping until a time
 // in the past (or the present) returns immediately but still yields to the
 // scheduler, preserving event ordering.
+//
+// Lookahead fast path: when the caller is the currently-executing process
+// and the event heap is empty or its earliest event fires strictly after
+// t, no other process can possibly run before the caller's wake-up at t —
+// the slow path would push an event, hand off to the engine, and have the
+// engine pop that same event right back. In that provably-equivalent case
+// the clock advances inline: no heap traffic, no channel operations, no
+// goroutine context switches. A top event at exactly t must still park:
+// it was scheduled earlier, so sequence numbers order it before the
+// caller at that instant.
 func (p *Proc) SleepUntil(t Time) {
-	if t < p.eng.now {
-		t = p.eng.now
+	e := p.eng
+	if t < e.now {
+		t = e.now
 	}
-	p.eng.schedule(t, p)
+	if e.current == p && !e.noFast && !e.killing &&
+		(len(e.events) == 0 || t < e.events[0].at) {
+		e.now = t
+		e.stats.FastAdvances++
+		return
+	}
+	e.schedule(t, p)
 	p.park()
 }
 
@@ -373,7 +450,8 @@ func (p *Proc) Sleep(d Time) {
 }
 
 // Yield gives other processes scheduled for the current instant a chance to
-// run, then continues.
+// run, then continues. When no same-instant event exists the SleepUntil
+// fast path makes this free: no heap traffic and no handoff.
 func (p *Proc) Yield() { p.SleepUntil(p.eng.now) }
 
 // Cond is a waitable condition inside the simulation: processes block on it
