@@ -1,16 +1,16 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server serve loadtest experiments charts fuzz clean outputs
 
 all: check
 
 # The default gate: static checks, the test suite, then the race
 # detector over the packages with real cross-goroutine traffic (the
-# parallel scheduler and the simulations it drives).
+# parallel scheduler, the simulations it drives, and the cache server).
 check: vet test race-hot
 
 race-hot:
-	$(GO) test -race ./internal/expt ./internal/core
+	$(GO) test -race ./internal/expt ./internal/core ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,19 @@ bench-sim:
 # Machine-readable experiment timings + run-cache stats (BENCH trajectory).
 bench-json:
 	$(GO) run ./cmd/acbench -run all -json > BENCH_acbench.json
+
+# Run the cache daemon on its default unix socket.
+serve:
+	$(GO) run ./cmd/acfcd -listen unix:/tmp/acfcd.sock -metrics 127.0.0.1:9090
+
+# Replay a workload against a running daemon (make serve, elsewhere).
+loadtest:
+	$(GO) run ./cmd/acload -addr unix:/tmp/acfcd.sock -app cs1 -clients 4
+
+# Server throughput/latency baseline: in-process server, 1/4/16-client
+# sweep, machine-readable (BENCH trajectory).
+bench-server:
+	$(GO) run ./cmd/acload -selfserve -json > BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

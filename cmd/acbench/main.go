@@ -60,7 +60,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
-	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // expTiming is one experiment's wall-clock cost in the -json report.
@@ -76,10 +76,13 @@ type jsonRun struct {
 	Experiments []expTiming      `json:"experiments"`
 	TotalMillis float64          `json:"total_wall_ms"`
 	RunCache    expt.RunnerStats `json:"run_cache"`
-	// Sim aggregates the DES engine counters over every simulation the
-	// sweep executed: fast_advances vs handoffs shows how much of the
-	// virtual-time advancement skipped the goroutine scheduler.
-	Sim sim.Stats `json:"sim"`
+	// Kernel aggregates the kernel counters — buffer cache and DES
+	// engine — over every simulation the sweep executed, in the same
+	// stats.Snapshot schema the acfcd daemon's /metrics endpoint
+	// exposes. In the sim block, fast_advances vs handoffs shows how
+	// much of the virtual-time advancement skipped the goroutine
+	// scheduler.
+	Kernel stats.Snapshot `json:"kernel"`
 }
 
 // jsonReport is the -json output document.
@@ -223,7 +226,7 @@ func runSuite(runner *expt.Runner, ids []string, sizes []float64, out io.Writer)
 	}
 	res.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	res.RunCache = runner.Stats()
-	res.Sim = runner.SimStats()
+	res.Kernel = runner.KernelSnapshot()
 	return res
 }
 

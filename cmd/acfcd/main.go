@@ -1,0 +1,148 @@
+// Command acfcd is the application-controlled file cache daemon: one
+// Live kernel — buffer cache, ACM, file namespace, block store — served
+// to client processes over a unix or TCP socket. Each connection is one
+// owner/manager session; disconnecting releases the owner's blocks.
+//
+// Usage:
+//
+//	acfcd -listen unix:/tmp/acfcd.sock [-metrics 127.0.0.1:9090]
+//	      [-cache-mb 6.4] [-alloc lru-sp] [-store mem|/path/to/file]
+//	      [-idle 2m] [-inflight 32] [-evict-on-close] [-check-invariants]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
+// are refused, and the kernel flushes dirty blocks before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/server"
+)
+
+var allocNames = map[string]cache.Alloc{
+	"global-lru": cache.GlobalLRU,
+	"lru-sp":     cache.LRUSP,
+	"lru-s":      cache.LRUS,
+	"alloc-lru":  cache.AllocLRU,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listenFlag := flag.String("listen", "unix:/tmp/acfcd.sock", "listen address: unix:/path or tcp:host:port")
+	metricsFlag := flag.String("metrics", "", "HTTP /metrics listen address (empty: disabled)")
+	cacheFlag := flag.Float64("cache-mb", 6.4, "cache size in MB")
+	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
+	storeFlag := flag.String("store", "mem", "block store: mem, or a backing file path")
+	idleFlag := flag.Duration("idle", 2*time.Minute, "session idle timeout")
+	inflightFlag := flag.Int("inflight", 32, "max pipelined requests per session")
+	evictFlag := flag.Bool("evict-on-close", false, "evict (write back) a closing session's blocks instead of disowning them")
+	invFlag := flag.Bool("check-invariants", false, "run kernel invariant checks after every session close")
+	graceFlag := flag.Duration("grace", 10*time.Second, "shutdown drain grace before forcing disconnects")
+	flag.Parse()
+
+	alloc, ok := allocNames[*allocFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acfcd: unknown alloc %q\n", *allocFlag)
+		return 2
+	}
+	var store disk.Store
+	if *storeFlag != "mem" {
+		fst, err := disk.NewFileStore(*storeFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: store: %v\n", err)
+			return 1
+		}
+		store = fst
+	}
+
+	srv := server.New(server.Config{
+		Kernel: core.LiveConfig{
+			CacheBytes:     core.MB(*cacheFlag),
+			Alloc:          alloc,
+			Store:          store,
+			EvictOnRelease: *evictFlag,
+			WallClock:      true,
+		},
+		MaxInflight:     *inflightFlag,
+		IdleTimeout:     *idleFlag,
+		CheckInvariants: *invFlag,
+	})
+
+	ln, err := listen(*listenFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, store %s)\n",
+		ln.Addr(), *allocFlag, *cacheFlag, *storeFlag)
+
+	if *metricsFlag != "" {
+		mln, err := net.Listen("tcp", *metricsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: metrics: %v\n", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		go http.Serve(mln, mux)
+		fmt.Fprintf(os.Stderr, "acfcd: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "acfcd: %v: draining (%v grace)\n", sig, *graceFlag)
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: serve: %v\n", err)
+			return 1
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *graceFlag)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := srv.Kernel().Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "acfcd: close: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "acfcd: drained, bye")
+	return 0
+}
+
+// listen parses "unix:/path" or "tcp:addr" and listens. A stale unix
+// socket from an unclean previous exit is removed first.
+func listen(spec string) (net.Listener, error) {
+	network, addr, ok := strings.Cut(spec, ":")
+	if !ok || (network != "unix" && network != "tcp") {
+		return nil, fmt.Errorf("bad -listen %q (want unix:/path or tcp:host:port)", spec)
+	}
+	if network == "unix" {
+		if _, err := os.Stat(addr); err == nil {
+			if c, err := net.Dial("unix", addr); err == nil {
+				c.Close()
+				return nil, fmt.Errorf("%s: already in use", addr)
+			}
+			os.Remove(addr)
+		}
+	}
+	return net.Listen(network, addr)
+}

@@ -1,0 +1,337 @@
+// Command acload replays the paper's workloads against a running acfcd
+// server and reports what the wire saw: throughput, latency percentiles,
+// hit ratios, and how many requests the server refused (drain) versus
+// failed.
+//
+// The replay transcript comes from the DES: acload records the workload
+// once in simulation (expt.Record) — every block access and every
+// fbehavior call, in issue order — then N concurrent clients each replay
+// that transcript through their own session and their own copy of the
+// files (names are prefixed per client).
+//
+// Usage:
+//
+//	acload -addr unix:/tmp/acfcd.sock -app cs1 -mode smart -clients 4
+//	acload -selfserve -app cs1 -clients 16          # in-process server
+//	acload -selfserve -json > BENCH_server.json     # 1/4/16-client sweep
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/fs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var allocNames = map[string]cache.Alloc{
+	"global-lru": cache.GlobalLRU,
+	"lru-sp":     cache.LRUSP,
+	"lru-s":      cache.LRUS,
+	"alloc-lru":  cache.AllocLRU,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+// sweepResult is one (clients, replay) measurement, also the -json row.
+type sweepResult struct {
+	Clients    int     `json:"clients"`
+	Requests   int64   `json:"requests"`
+	Refused    int64   `json:"refused"`
+	Errors     int64   `json:"errors"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"requests_per_sec"`
+	HitRatio   float64 `json:"hit_ratio"`
+	P50us      float64 `json:"p50_us"`
+	P90us      float64 `json:"p90_us"`
+	P99us      float64 `json:"p99_us"`
+}
+
+// jsonReport is the -json output document (BENCH_server.json).
+type jsonReport struct {
+	App     string         `json:"app"`
+	Mode    string         `json:"mode"`
+	Alloc   string         `json:"alloc"`
+	CacheMB float64        `json:"cache_mb"`
+	Events  int            `json:"events_per_client"`
+	Sweeps  []sweepResult  `json:"sweeps"`
+	Kernel  stats.Snapshot `json:"kernel"`
+}
+
+func run() int {
+	addrFlag := flag.String("addr", "unix:/tmp/acfcd.sock", "server address: unix:/path or tcp:host:port")
+	appFlag := flag.String("app", "cs1", "workload to replay (an expt.Registry name)")
+	modeFlag := flag.String("mode", "smart", "oblivious, smart or foolish")
+	clientsFlag := flag.Int("clients", 4, "concurrent client sessions")
+	cacheFlag := flag.Float64("cache-mb", 6.4, "cache size (capture spec; and the self-served server)")
+	allocFlag := flag.String("alloc", "lru-sp", "allocation policy (capture spec; and the self-served server)")
+	nodataFlag := flag.Bool("nodata", false, "suppress block bytes in read responses")
+	selfFlag := flag.Bool("selfserve", false, "start an in-process server instead of dialing -addr")
+	jsonFlag := flag.Bool("json", false, "sweep 1/4/16 clients and emit JSON (implies quiet tables)")
+	flag.Parse()
+
+	mk, ok := expt.Registry[*appFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acload: unknown app %q\n", *appFlag)
+		return 2
+	}
+	mode, err := workload.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+		return 2
+	}
+	alloc, ok := allocNames[*allocFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acload: unknown alloc %q\n", *allocFlag)
+		return 2
+	}
+
+	fmt.Fprintf(os.Stderr, "acload: recording %s (%s) in simulation...\n", *appFlag, mode)
+	rec := expt.Record(expt.RunSpec{
+		Apps:         []expt.AppSpec{{Name: *appFlag, Make: mk, Mode: mode}},
+		CacheMB:      *cacheFlag,
+		Alloc:        alloc,
+		ReadAheadOff: true, // read-ahead I/O is untraced, so the transcript must not depend on it
+	})
+	fmt.Fprintf(os.Stderr, "acload: %d events per client\n", len(rec.Events))
+
+	network, addr := "", ""
+	var srv *server.Server
+	if *selfFlag {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+			return 1
+		}
+		srv = server.New(server.Config{Kernel: core.LiveConfig{
+			CacheBytes: core.MB(*cacheFlag),
+			Alloc:      rec.Spec.Alloc,
+			WallClock:  true,
+		}})
+		go srv.Serve(ln)
+		network, addr = "tcp", ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "acload: self-serving on %s\n", addr)
+	} else {
+		var ok bool
+		network, addr, ok = strings.Cut(*addrFlag, ":")
+		if !ok || (network != "unix" && network != "tcp") {
+			fmt.Fprintf(os.Stderr, "acload: bad -addr %q\n", *addrFlag)
+			return 2
+		}
+	}
+
+	sweeps := []int{*clientsFlag}
+	if *jsonFlag {
+		sweeps = []int{1, 4, 16}
+	}
+	report := jsonReport{App: *appFlag, Mode: mode.String(), Alloc: alloc.String(), CacheMB: *cacheFlag, Events: len(rec.Events)}
+	for si, n := range sweeps {
+		res, err := runSweep(network, addr, fmt.Sprintf("s%d", si), n, rec.Events, *nodataFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+			return 1
+		}
+		report.Sweeps = append(report.Sweeps, res)
+		fmt.Fprintf(os.Stderr,
+			"acload: %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs, refused %d, errors %d\n",
+			n, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio, res.P50us, res.P90us, res.P99us, res.Refused, res.Errors)
+	}
+
+	if srv != nil {
+		if m, ok := srv.Metrics(); ok {
+			report.Kernel = m.Kernel
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	} else if c, err := client.Dial(network, addr); err == nil {
+		if sr, err := c.Stats(); err == nil {
+			report.Kernel = sr.Kernel
+		}
+		c.Close()
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runSweep replays the transcript through n concurrent sessions, each
+// against its own file namespace (tag distinguishes sweeps sharing one
+// server), and aggregates the measurements.
+func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodata bool) (sweepResult, error) {
+	type clientOut struct {
+		st  replayStats
+		err error
+	}
+	outs := make([]clientOut, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prefix := fmt.Sprintf("%sc%d/", tag, i)
+			outs[i].st, outs[i].err = replayOne(network, addr, prefix, events, nodata)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := sweepResult{Clients: n, Seconds: elapsed.Seconds()}
+	var hits, accesses int64
+	var all []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, fmt.Errorf("client %d: %w", i, outs[i].err)
+		}
+		st := &outs[i].st
+		res.Requests += st.requests
+		res.Refused += st.refused
+		res.Errors += st.errors
+		hits += st.hits
+		accesses += st.hits + st.misses
+		all = append(all, st.latencies...)
+	}
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Requests) / res.Seconds
+	}
+	if accesses > 0 {
+		res.HitRatio = float64(hits) / float64(accesses)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50us = percentileUs(all, 0.50)
+	res.P90us = percentileUs(all, 0.90)
+	res.P99us = percentileUs(all, 0.99)
+	return res, nil
+}
+
+func percentileUs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+type replayStats struct {
+	requests  int64
+	hits      int64
+	misses    int64
+	refused   int64
+	errors    int64
+	latencies []time.Duration
+}
+
+// replayOne replays the whole transcript through one fresh session.
+// Recorded file ids map to server files created under prefix; fbehavior
+// and access events reproduce the workload call for call.
+func replayOne(network, addr, prefix string, events []expt.ReplayEvent, nodata bool) (replayStats, error) {
+	var st replayStats
+	c, err := client.Dial(network, addr)
+	if err != nil {
+		return st, err
+	}
+	defer c.Close()
+
+	files := make(map[fs.FileID]fs.FileID) // recorded id -> server id
+	payload := make([]byte, core.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	st.latencies = make([]time.Duration, 0, len(events))
+
+	fail := func(err error) error {
+		if client.IsRefused(err) {
+			st.refused++
+			return nil
+		}
+		st.errors++
+		return err
+	}
+	for _, ev := range events {
+		if ev.IsCtl {
+			st.requests++
+			ct := ev.Ctl
+			switch ct.Op {
+			case core.CtlCreateFile:
+				f, err := c.Create(prefix+ct.FileName, ct.Disk, ct.Size)
+				if err != nil {
+					if e := fail(err); e != nil {
+						return st, e
+					}
+					continue
+				}
+				files[ct.File] = f.ID
+			case core.CtlRemoveFile:
+				err = c.Remove(prefix + ct.FileName)
+				delete(files, ct.File)
+			case core.CtlControl:
+				err = c.Control(ct.Enable)
+			case core.CtlSetPriority:
+				err = c.SetPriority(files[ct.File], ct.Prio)
+			case core.CtlSetPolicy:
+				err = c.SetPolicy(ct.Prio, ct.Policy)
+			case core.CtlSetTempPri:
+				err = c.SetTempPri(files[ct.File], ct.Start, ct.End, ct.Prio)
+			}
+			if err != nil {
+				if e := fail(err); e != nil {
+					return st, e
+				}
+			}
+			continue
+		}
+
+		a := ev.Access
+		fid, ok := files[a.File]
+		if !ok {
+			return st, fmt.Errorf("access to file %d before its create event", a.File)
+		}
+		st.requests++
+		t0 := time.Now()
+		var hit bool
+		if a.Write {
+			hit, err = c.Write(fid, a.Block, a.Off, payload[:a.Size])
+		} else if nodata {
+			hit, err = c.ReadNoData(fid, a.Block, a.Off, a.Size)
+		} else {
+			_, hit, err = c.Read(fid, a.Block, a.Off, a.Size)
+		}
+		st.latencies = append(st.latencies, time.Since(t0))
+		if err != nil {
+			if e := fail(err); e != nil {
+				return st, e
+			}
+			continue
+		}
+		if hit {
+			st.hits++
+		} else {
+			st.misses++
+		}
+	}
+	return st, nil
+}

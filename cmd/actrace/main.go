@@ -37,12 +37,6 @@ var allocNames = map[string]cache.Alloc{
 	"alloc-lru":  cache.AllocLRU,
 }
 
-var modeNames = map[string]workload.Mode{
-	"oblivious": workload.Oblivious,
-	"smart":     workload.Smart,
-	"foolish":   workload.Foolish,
-}
-
 func main() {
 	appFlag := flag.String("app", "", "workload: "+strings.Join(appNames(), ", "))
 	modeFlag := flag.String("mode", "smart", "oblivious, smart or foolish")
@@ -57,9 +51,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "actrace: unknown app %q (want %s)\n", *appFlag, strings.Join(appNames(), ", "))
 		os.Exit(2)
 	}
-	mode, ok := modeNames[*modeFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "actrace: unknown mode %q\n", *modeFlag)
+	mode, err := workload.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actrace: %v\n", err)
 		os.Exit(2)
 	}
 	alloc, ok := allocNames[*allocFlag]

@@ -172,18 +172,35 @@ type Victim struct {
 	Dirty bool
 }
 
-// Stats aggregates cache-wide counters.
+// Stats aggregates cache-wide counters. The json tags are the one
+// canonical naming for these counters everywhere they escape the process
+// (acbench -json, the acfcd metrics endpoint) — see internal/stats.
 type Stats struct {
-	Hits            int64
-	Misses          int64
-	Evictions       int64
-	UnrefEvictions  int64 // evictions of never-referenced (prefetched) blocks
-	Consults        int64 // replace_block consultations of managers
-	Overrules       int64 // manager picked a block other than the candidate
-	PlaceholderHits int64 // misses resolved through a placeholder
-	Vindicated      int64 // placeholders dropped because the kept block was used
-	Transfers       int64 // shared-block ownership transfers
-	Revocations     int64
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Evictions       int64 `json:"evictions"`
+	UnrefEvictions  int64 `json:"unref_evictions"` // evictions of never-referenced (prefetched) blocks
+	Consults        int64 `json:"consults"`        // replace_block consultations of managers
+	Overrules       int64 `json:"overrules"`       // manager picked a block other than the candidate
+	PlaceholderHits int64 `json:"placeholder_hits"` // misses resolved through a placeholder
+	Vindicated      int64 `json:"vindicated"`       // placeholders dropped because the kept block was used
+	Transfers       int64 `json:"transfers"`        // shared-block ownership transfers
+	Revocations     int64 `json:"revocations"`
+}
+
+// Accumulate folds o into s. Used to aggregate the caches of many
+// independent runs (the experiment Runner's kernel-counter snapshot).
+func (s *Stats) Accumulate(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.UnrefEvictions += o.UnrefEvictions
+	s.Consults += o.Consults
+	s.Overrules += o.Overrules
+	s.PlaceholderHits += o.PlaceholderHits
+	s.Vindicated += o.Vindicated
+	s.Transfers += o.Transfers
+	s.Revocations += o.Revocations
 }
 
 // OwnerStats tracks one manager's decision quality for the revocation
@@ -756,6 +773,52 @@ func (c *Cache) InvalidateFile(id fs.FileID) int {
 		c.dropPlaceholder(ph)
 	}
 	return len(doomed)
+}
+
+// EvictOwner evicts every block owned by owner, reporting each victim to
+// fn (which may be nil) so the caller can write back dirty data. It
+// returns the number of blocks evicted. This is the eviction half of
+// revoking an owner/manager session: the manager, if any, must already
+// have been destroyed (BlockGone fires unconditionally either way, so a
+// still-linked revoked owner's ACM nodes unlink cleanly). The Victim
+// passed to fn is a copy, valid beyond the call.
+func (c *Cache) EvictOwner(owner int, fn func(Victim)) int {
+	var doomed []*Buf
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		if b.Owner == owner {
+			doomed = append(doomed, b)
+		}
+	}
+	for _, b := range doomed {
+		v := c.evict(b)
+		if fn != nil {
+			fn(*v)
+		}
+	}
+	return len(doomed)
+}
+
+// DisownOwner transfers every block owned by owner to NoOwner, leaving
+// the blocks cached under the kernel's global policy alone. This is the
+// transfer half of revoking an owner/manager session: a departed client's
+// warm blocks stay useful to whoever reads them next.
+func (c *Cache) DisownOwner(owner int) int {
+	n := 0
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		if b.Owner == owner {
+			c.transferOwner(b, NoOwner)
+			n++
+		}
+	}
+	return n
+}
+
+// Drop removes b from the cache without producing a victim record: the
+// caller has decided the contents are not worth writing back (a fill that
+// failed with an I/O error). The manager is notified as for any removal.
+func (c *Cache) Drop(b *Buf) {
+	c.remove(b)
+	c.stats.Evictions++
 }
 
 // CheckInvariants verifies internal consistency; tests call it after

@@ -116,6 +116,14 @@ type Config struct {
 	// characterizing reference streams.
 	Trace func(TraceEvent)
 
+	// TraceCtl, when non-nil, receives every successful control-plane
+	// operation — fbehavior calls, file creation and removal — as it
+	// happens, interleaved in call order with Config.Trace. The two
+	// streams together are a complete, replayable record of the run
+	// (expt.Record assembles it; acfcd's load generator and the server
+	// oracle test replay it over the wire).
+	TraceCtl func(CtlEvent)
+
 	// NoSimFastPath forces every virtual-time sleep through the DES
 	// event heap and scheduler, disabling the engine's lookahead fast
 	// path. Results are identical either way (differential tests prove
@@ -259,6 +267,7 @@ func (s *System) CreateFile(name string, diskIdx, sizeBlocks int) *fs.File {
 	if err != nil {
 		panic(err)
 	}
+	s.ctlTraceSys(CtlEvent{Op: CtlCreateFile, File: f.ID(), FileName: name, Disk: diskIdx, Size: sizeBlocks})
 	return f
 }
 
@@ -498,6 +507,7 @@ func (p *Proc) CreateFile(name string, d, sizeBlocks int) *fs.File {
 	if p.sys.inode != nil {
 		p.sys.inode.Prime(f.ID())
 	}
+	p.ctlTrace(CtlEvent{Op: CtlCreateFile, File: f.ID(), FileName: name, Disk: d, Size: sizeBlocks})
 	p.sys.useCPU(p.sp, p.sys.cfg.SyscallCPU)
 	return f
 }
@@ -535,6 +545,7 @@ func (p *Proc) RemoveFile(f *fs.File) {
 	if err := p.sys.fsys.Remove(f.Name()); err != nil {
 		panic(err)
 	}
+	p.ctlTrace(CtlEvent{Op: CtlRemoveFile, File: f.ID(), FileName: f.Name()})
 	delete(p.lastRead, f.ID())
 	p.sys.useCPU(p.sp, p.sys.cfg.SyscallCPU)
 }
@@ -699,6 +710,7 @@ func (p *Proc) EnableControl() error {
 		return err
 	}
 	p.mgr = m
+	p.ctlTrace(CtlEvent{Op: CtlControl, Enable: true})
 	p.fbCharge()
 	return nil
 }
@@ -710,6 +722,7 @@ func (p *Proc) DisableControl() {
 	}
 	p.sys.ctl.DestroyManager(p.id)
 	p.mgr = nil
+	p.ctlTrace(CtlEvent{Op: CtlControl, Enable: false})
 	p.fbCharge()
 }
 
@@ -735,7 +748,11 @@ func (p *Proc) requireMgr(call string) *acm.Manager {
 func (p *Proc) SetPriority(f *fs.File, prio int) error {
 	m := p.requireMgr("set_priority")
 	p.fbCharge()
-	return m.SetPriority(f.ID(), prio)
+	err := m.SetPriority(f.ID(), prio)
+	if err == nil {
+		p.ctlTrace(CtlEvent{Op: CtlSetPriority, File: f.ID(), FileName: f.Name(), Prio: prio})
+	}
+	return err
 }
 
 // GetPriority reads the long-term cache priority of a file.
@@ -749,7 +766,11 @@ func (p *Proc) GetPriority(f *fs.File) int {
 func (p *Proc) SetPolicy(prio int, pol acm.Policy) error {
 	m := p.requireMgr("set_policy")
 	p.fbCharge()
-	return m.SetPolicy(prio, pol)
+	err := m.SetPolicy(prio, pol)
+	if err == nil {
+		p.ctlTrace(CtlEvent{Op: CtlSetPolicy, Prio: prio, Policy: pol})
+	}
+	return err
 }
 
 // GetPolicy reads the replacement policy of a priority level.
@@ -764,5 +785,9 @@ func (p *Proc) GetPolicy(prio int) acm.Policy {
 func (p *Proc) SetTempPri(f *fs.File, startBlk, endBlk int32, prio int) error {
 	m := p.requireMgr("set_temppri")
 	p.fbCharge()
-	return m.SetTempPri(f.ID(), startBlk, endBlk, prio)
+	err := m.SetTempPri(f.ID(), startBlk, endBlk, prio)
+	if err == nil {
+		p.ctlTrace(CtlEvent{Op: CtlSetTempPri, File: f.ID(), FileName: f.Name(), Start: startBlk, End: endBlk, Prio: prio})
+	}
+	return err
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/acm"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// CtlOp enumerates the control-plane operations Config.TraceCtl reports:
+// the five fbehavior calls plus file creation and removal. Together with
+// Config.Trace (the block accesses) the two streams record everything a
+// workload did to the cache, which is what a wire-level replay needs to
+// reproduce a run exactly.
+type CtlOp uint8
+
+// Control-plane operations.
+const (
+	// CtlControl is EnableControl (Enable true) or DisableControl.
+	CtlControl CtlOp = iota
+	// CtlSetPriority carries File, FileName and Prio.
+	CtlSetPriority
+	// CtlSetPolicy carries Prio and Policy.
+	CtlSetPolicy
+	// CtlSetTempPri carries File, FileName, the [Start, End] block range
+	// and Prio.
+	CtlSetTempPri
+	// CtlCreateFile carries File, FileName, Disk and SizeBlocks. Events
+	// with Proc -1 come from System.CreateFile (pre-run file population);
+	// non-negative Proc means a process created the file mid-run.
+	CtlCreateFile
+	// CtlRemoveFile carries File and FileName.
+	CtlRemoveFile
+)
+
+// CtlEvent describes one successful control-plane operation for
+// Config.TraceCtl. Failed calls (limit exceeded, bad arguments) are not
+// reported: they changed nothing, so a replay has nothing to redo.
+type CtlEvent struct {
+	Time sim.Time
+	Proc int // process id, or -1 for pre-run System calls
+	Op   CtlOp
+
+	File     fs.FileID // target file, when the op has one
+	FileName string
+	Disk     int // CtlCreateFile: placement disk
+	Size     int // CtlCreateFile: initial size in blocks
+
+	Prio       int        // priority argument
+	Policy     acm.Policy // CtlSetPolicy
+	Start, End int32      // CtlSetTempPri block range
+	Enable     bool       // CtlControl
+}
+
+// ctlTrace reports a process-issued control event.
+func (p *Proc) ctlTrace(ev CtlEvent) {
+	if t := p.sys.cfg.TraceCtl; t != nil {
+		ev.Time = p.sp.Now()
+		ev.Proc = p.id
+		t(ev)
+	}
+}
+
+// ctlTraceSys reports a pre-run (System-level) control event.
+func (s *System) ctlTraceSys(ev CtlEvent) {
+	if t := s.cfg.TraceCtl; t != nil {
+		ev.Time = s.eng.Now()
+		ev.Proc = -1
+		t(ev)
+	}
+}

@@ -1,0 +1,687 @@
+// live.go — the real-clock kernel behind the acfcd daemon.
+//
+// The DES System in this package models a machine: disk arms, a CPU, and
+// virtual time. A cache *server* needs the same kernel — the same buffer
+// cache, the same ACM, the same fbehavior surface and the same per-owner
+// accounting — but driven by real requests against a real block store
+// (disk.Store), with no simulated costs. Live is that kernel.
+//
+// Concurrency contract: Live is single-threaded by design. Exactly one
+// goroutine (the server's kernel loop) may call its methods; block fills
+// are the only concurrent work, and they re-enter through CompleteFill on
+// that same goroutine. This mirrors the paper's kernel, where the buffer
+// cache is protected by the monolithic-kernel lock, and it is why the
+// cache and ACM structures — written for the one-runnable-process DES —
+// can be reused unchanged.
+//
+// Accounting parity: Read and Write mirror Proc.Access / Proc.WriteAccess
+// counter for counter (ReadCalls, Hits, Misses, DemandReads, WriteBacks,
+// ...), with read-ahead off and metadata modelling off. A workload
+// replayed through Live therefore produces byte-identical ProcStats and
+// cache.Stats to a DES run of the same access sequence — the server
+// oracle test holds the two implementations to that.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/acm"
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Errors returned by Live for client mistakes. The DES kernel panics on
+// these (a simulated workload that reads past EOF is a bug in the
+// experiment); a server must survive them.
+var (
+	ErrUnknownOwner = errors.New("core: unknown or released owner")
+	ErrNoControl    = errors.New("core: owner has not enabled control")
+	ErrControlled   = errors.New("core: owner already controls its cache")
+	ErrNotFound     = errors.New("core: no such file")
+	ErrOutOfRange   = errors.New("core: block out of range")
+)
+
+// Fill is one in-flight demand read. The kernel allocates it, the I/O
+// executor (LiveConfig.StartFill) fills Data or Err, and hands it back to
+// the kernel loop, which applies it via CompleteFill.
+type Fill struct {
+	ID   cache.BlockID
+	Data []byte // BlockSize bytes; the executor reads the block into it
+	Err  error  // set by the executor on I/O failure
+
+	buf     *cache.Buf
+	done    bool
+	waiters []func(data []byte, err error)
+}
+
+// LiveConfig configures a Live kernel.
+type LiveConfig struct {
+	// CacheBytes sizes the buffer cache (default 6.4 MB, as in the DES).
+	CacheBytes int64
+	// Alloc is the global allocation policy.
+	Alloc cache.Alloc
+	// Revoke configures foolish-manager revocation.
+	Revoke cache.RevokeConfig
+	// SharedFiles makes cached-block ownership follow use across owners.
+	SharedFiles bool
+	// ACMLimits caps per-manager kernel resources.
+	ACMLimits acm.Limits
+
+	// DiskBlocks lists logical disk capacities for file placement
+	// (default: the paper's RZ56 + RZ26 pair).
+	DiskBlocks []int
+
+	// Store holds block contents (default: an in-memory MemStore).
+	Store disk.Store
+
+	// StartFill, when non-nil, executes demand reads asynchronously: it
+	// must arrange for fl.Data (or fl.Err) to be produced and for
+	// CompleteFill(fl) to then be called on the kernel goroutine. Nil
+	// means fills run synchronously inline — the mode the oracle test
+	// and any single-threaded embedding use.
+	StartFill func(fl *Fill)
+
+	// EvictOnRelease makes ReleaseOwner evict the owner's blocks
+	// (writing back dirty ones) instead of disowning them in place.
+	EvictOnRelease bool
+
+	// WallClock stamps cache recency with real time instead of the
+	// deterministic per-operation logical tick. The tick default keeps
+	// replacement order a pure function of request order, which the
+	// oracle test needs; a production daemon may prefer wall time so
+	// that update-style flushing ages in seconds.
+	WallClock bool
+}
+
+func (c LiveConfig) cacheBlocks() int {
+	bytes := c.CacheBytes
+	if bytes <= 0 {
+		bytes = MB(6.4)
+	}
+	n := int(bytes / BlockSize)
+	if n <= 0 {
+		n = 1
+	}
+	return n
+}
+
+// liveOwner is one registered owner (a client session, in the daemon).
+type liveOwner struct {
+	name  string
+	live  bool
+	mgr   *acm.Manager
+	stats ProcStats
+}
+
+// Live is the real-clock kernel: one buffer cache plus ACM, a file
+// system namespace, and a block store, driven by explicit requests. Not
+// safe for concurrent use — see the package comment's concurrency
+// contract.
+type Live struct {
+	cfg   LiveConfig
+	store disk.Store
+	fsys  *fs.FileSystem
+	bc    *cache.Cache
+	ctl   *acm.ACM
+
+	tick  sim.Time // logical clock: one tick per kernel operation
+	epoch time.Time
+
+	owners []*liveOwner
+	// data holds the contents of every valid cached block. A block is in
+	// data iff it is cached and not mid-fill; the bytes move to the
+	// store on write-back and are dropped on clean eviction.
+	data map[cache.BlockID][]byte
+	// fills tracks in-flight demand reads by their buffer. A buffer
+	// evicted mid-fill stays in the executor's hands (ValidAt remains
+	// IOPending — the same leak-to-GC rule the DES uses); its fill
+	// completes into waiters only.
+	fills map[*cache.Buf]*Fill
+}
+
+// NewLive builds a Live kernel.
+func NewLive(cfg LiveConfig) *Live {
+	if cfg.Store == nil {
+		cfg.Store = disk.NewMemStore()
+	}
+	if len(cfg.DiskBlocks) == 0 {
+		cfg.DiskBlocks = []int{disk.RZ56.Blocks(), disk.RZ26.Blocks()}
+	}
+	l := &Live{
+		cfg:   cfg,
+		store: cfg.Store,
+		fsys:  fs.New(fs.Config{DiskBlocks: cfg.DiskBlocks}),
+		epoch: time.Now(),
+		data:  make(map[cache.BlockID][]byte),
+		fills: make(map[*cache.Buf]*Fill),
+	}
+	l.ctl = acm.New(l.Now, cfg.ACMLimits)
+	l.bc = cache.New(cache.Config{
+		Capacity:       cfg.cacheBlocks(),
+		Alloc:          cfg.Alloc,
+		Revoke:         cfg.Revoke,
+		SharedTransfer: cfg.SharedFiles,
+	}, l.ctl)
+	return l
+}
+
+// Now returns the kernel clock: wall microseconds since start, or the
+// logical tick.
+func (l *Live) Now() sim.Time {
+	if l.cfg.WallClock {
+		return sim.Time(time.Since(l.epoch) / time.Microsecond)
+	}
+	return l.tick
+}
+
+func (l *Live) advance() sim.Time {
+	if !l.cfg.WallClock {
+		l.tick++
+	}
+	return l.Now()
+}
+
+// FS exposes the file system namespace.
+func (l *Live) FS() *fs.FileSystem { return l.fsys }
+
+// Cache exposes the buffer cache (read-only introspection).
+func (l *Live) Cache() *cache.Cache { return l.bc }
+
+// Store exposes the block store, for the fill executor.
+func (l *Live) Store() disk.Store { return l.store }
+
+// PendingFills reports the number of in-flight demand reads.
+func (l *Live) PendingFills() int { return len(l.fills) }
+
+// Snapshot captures the kernel counters. Live has no DES engine, so the
+// Sim block stays zero.
+func (l *Live) Snapshot() stats.Snapshot {
+	return stats.Snapshot{Cache: l.bc.Stats()}
+}
+
+// --- owner lifecycle ---
+
+// AddOwner registers a new owner (one per client session) and returns
+// its id. Ids are never reused: per-owner revocation history must not
+// leak from a dead session to a new one.
+func (l *Live) AddOwner(name string) int {
+	id := len(l.owners)
+	l.owners = append(l.owners, &liveOwner{name: name, live: true})
+	return id
+}
+
+func (l *Live) owner(id int) (*liveOwner, error) {
+	if id < 0 || id >= len(l.owners) || !l.owners[id].live {
+		return nil, ErrUnknownOwner
+	}
+	return l.owners[id], nil
+}
+
+// OwnerStats snapshots an owner's counters (also valid after release).
+func (l *Live) OwnerStats(id int) (ProcStats, error) {
+	if id < 0 || id >= len(l.owners) {
+		return ProcStats{}, ErrUnknownOwner
+	}
+	return l.owners[id].stats, nil
+}
+
+// ReleaseOwner ends an owner's session: its manager (if any) is
+// destroyed, and its blocks are either evicted (dirty ones written back)
+// or disowned in place, per LiveConfig.EvictOnRelease. This is the
+// revoked-owner path of the cache exercised as a production operation —
+// every client disconnect runs it. Returns the owner's final counters.
+func (l *Live) ReleaseOwner(id int) (ProcStats, error) {
+	o, err := l.owner(id)
+	if err != nil {
+		return ProcStats{}, err
+	}
+	if o.mgr != nil {
+		l.ctl.DestroyManager(id)
+		o.mgr = nil
+	}
+	if l.cfg.EvictOnRelease {
+		l.bc.EvictOwner(id, func(v cache.Victim) { l.flushVictim(&v) })
+	} else {
+		l.bc.DisownOwner(id)
+	}
+	o.live = false
+	return o.stats, nil
+}
+
+func (l *Live) charge(owner int, f func(*ProcStats)) {
+	if owner >= 0 && owner < len(l.owners) {
+		f(&l.owners[owner].stats)
+	}
+}
+
+// --- file management ---
+
+// Create creates a file on disk d, initially sizeBlocks long.
+func (l *Live) Create(owner int, name string, d, sizeBlocks int) (*fs.File, error) {
+	if _, err := l.owner(owner); err != nil {
+		return nil, err
+	}
+	if d < 0 || d >= l.fsys.Disks() {
+		return nil, fmt.Errorf("core: no disk %d", d)
+	}
+	return l.fsys.Create(name, d, sizeBlocks)
+}
+
+// Open resolves a file by name and counts the open.
+func (l *Live) Open(owner int, name string) (*fs.File, error) {
+	o, err := l.owner(owner)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := l.fsys.Lookup(name)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	o.stats.Opens++
+	return f, nil
+}
+
+// Remove unlinks a file; its cached blocks (dirty or not) are discarded
+// without I/O, as for an unlinked temporary file.
+func (l *Live) Remove(owner int, name string) error {
+	if _, err := l.owner(owner); err != nil {
+		return err
+	}
+	f, ok := l.fsys.Lookup(name)
+	if !ok {
+		return ErrNotFound
+	}
+	l.bc.InvalidateFile(f.ID())
+	for id := range l.data {
+		if id.File == f.ID() {
+			delete(l.data, id)
+		}
+	}
+	return l.fsys.Remove(name)
+}
+
+// --- the read/write surface ---
+
+// Read reads size bytes at offset off within block blk. done receives
+// the whole block's bytes (the caller slices [off, off+size)), whether
+// the access hit, and any I/O error. done runs inline for hits and
+// synchronous fills, or later on the kernel goroutine when the fill is
+// asynchronous; the returned bool reports whether it already ran.
+//
+// The counter updates replicate Proc.Access exactly (with read-ahead
+// off): ReadCalls, then Hits, or Misses + DemandReads with the insert
+// protocol between them.
+func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done func(data []byte, hit bool, err error)) bool {
+	o, err := l.owner(owner)
+	if err != nil {
+		done(nil, false, err)
+		return true
+	}
+	f, ok := l.fsys.ByID(fid)
+	if !ok || f.Removed() {
+		done(nil, false, ErrNotFound)
+		return true
+	}
+	if blk < 0 || int(blk) >= f.Size() || off < 0 || size < 0 || off+size > BlockSize {
+		done(nil, false, ErrOutOfRange)
+		return true
+	}
+	o.stats.ReadCalls++
+	now := l.advance()
+	id := cache.BlockID{File: fid, Num: blk}
+	if b := l.bc.LookupBy(id, owner, off, size); b != nil {
+		o.stats.Hits++
+		if b.Busy(now) {
+			// Fill still in flight: join it, as waitValid would.
+			if fl := l.fills[b]; fl != nil {
+				l.addWaiter(fl, func(data []byte, err error) { done(data, true, err) })
+				return false
+			}
+		}
+		done(l.data[id], true, nil)
+		return true
+	}
+	o.stats.Misses++
+	buf, victim := l.bc.Insert(id, owner, now)
+	l.flushVictim(victim)
+	buf.Referenced = true
+	o.stats.DemandReads++
+	fl := l.newFill(buf)
+	l.addWaiter(fl, func(data []byte, err error) { done(data, false, err) })
+	l.dispatchFill(fl)
+	return fl.done
+}
+
+// Write writes payload at offset off within block blk, growing the file
+// as needed. Whole-block writes (off 0, full payload) never read; a
+// partial write to an uncached, pre-existing block is a read-modify-
+// write. done reports hit and error as for Read.
+//
+// Counter updates replicate Proc.WriteAccess / Proc.Write exactly.
+func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byte, done func(hit bool, err error)) bool {
+	o, err := l.owner(owner)
+	if err != nil {
+		done(false, err)
+		return true
+	}
+	f, ok := l.fsys.ByID(fid)
+	if !ok || f.Removed() {
+		done(false, ErrNotFound)
+		return true
+	}
+	if blk < 0 || off < 0 || off+len(payload) > BlockSize || len(payload) == 0 {
+		done(false, ErrOutOfRange)
+		return true
+	}
+	o.stats.WriteCalls++
+	whole := off == 0 && len(payload) == BlockSize
+	grew := false
+	if int(blk) >= f.Size() {
+		if err := l.fsys.Grow(f, int(blk)+1); err != nil {
+			done(false, err)
+			return true
+		}
+		grew = true
+	}
+	now := l.advance()
+	id := cache.BlockID{File: fid, Num: blk}
+	b := l.bc.LookupBy(id, owner, off, len(payload))
+	if b != nil {
+		o.stats.Hits++
+		if b.Busy(now) {
+			if fl := l.fills[b]; fl != nil {
+				l.addWaiter(fl, func(data []byte, err error) {
+					done(true, l.applyWrite(b, fl, off, payload, err))
+				})
+				return false
+			}
+		}
+		copy(l.data[id][off:], payload)
+		l.bc.MarkDirty(b, l.Now())
+		done(true, nil)
+		return true
+	}
+	o.stats.Misses++
+	b, victim := l.bc.Insert(id, owner, now)
+	l.flushVictim(victim)
+	b.Referenced = true
+	if !whole && !grew {
+		// Read-modify-write: fetch the rest of the block first.
+		o.stats.DemandReads++
+		fl := l.newFill(b)
+		l.addWaiter(fl, func(data []byte, err error) {
+			done(false, l.applyWrite(b, fl, off, payload, err))
+		})
+		l.dispatchFill(fl)
+		return fl.done
+	}
+	block := make([]byte, BlockSize)
+	copy(block[off:], payload)
+	l.data[id] = block
+	l.bc.MarkDirty(b, l.Now())
+	done(false, nil)
+	return true
+}
+
+// applyWrite lands a write that was waiting on a fill. The payload is
+// copied into the fill's block (the same backing array CompleteFill
+// installed, when the buffer survived); if the buffer was evicted
+// mid-fill the bytes write through to the store so they are not lost.
+func (l *Live) applyWrite(b *cache.Buf, fl *Fill, off int, payload []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	copy(fl.Data[off:], payload)
+	if l.bc.Peek(fl.ID) == b {
+		l.bc.MarkDirty(b, l.Now())
+		return nil
+	}
+	return l.store.WriteBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+}
+
+// --- fills and write-back ---
+
+func (l *Live) newFill(buf *cache.Buf) *Fill {
+	buf.ValidAt = ioPending
+	fl := &Fill{ID: buf.ID, Data: make([]byte, BlockSize), buf: buf}
+	l.fills[buf] = fl
+	return fl
+}
+
+func (l *Live) addWaiter(fl *Fill, fn func(data []byte, err error)) {
+	if fl.done {
+		fn(fl.Data, fl.Err)
+		return
+	}
+	fl.waiters = append(fl.waiters, fn)
+}
+
+func (l *Live) dispatchFill(fl *Fill) {
+	if sf := l.cfg.StartFill; sf != nil {
+		sf(fl)
+		return
+	}
+	fl.Err = l.store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+	l.CompleteFill(fl)
+}
+
+// CompleteFill applies a finished demand read: install the bytes (or
+// drop the buffer, on error), then run every waiter. Must be called on
+// the kernel goroutine. A buffer evicted while its fill was in flight is
+// not re-installed — its waiters still get the bytes, and the buffer
+// stays IOPending, exactly the leak-to-GC discipline of the DES.
+func (l *Live) CompleteFill(fl *Fill) {
+	delete(l.fills, fl.buf)
+	if l.bc.Peek(fl.ID) == fl.buf {
+		if fl.Err != nil {
+			l.bc.Drop(fl.buf)
+		} else {
+			l.data[fl.ID] = fl.Data
+			fl.buf.ValidAt = 0
+		}
+	}
+	fl.done = true
+	ws := fl.waiters
+	fl.waiters = nil
+	for _, w := range ws {
+		w(fl.Data, fl.Err)
+	}
+}
+
+// flushVictim writes back an evicted dirty block, synchronously: the
+// kernel loop owns both the cache and the victim's bytes, and a
+// synchronous write is what keeps fills (which are concurrent) and
+// write-backs (which would race them) trivially ordered.
+func (l *Live) flushVictim(v *cache.Victim) {
+	if v == nil {
+		return
+	}
+	data := l.data[v.ID]
+	delete(l.data, v.ID)
+	if !v.Dirty || data == nil {
+		return
+	}
+	if err := l.store.WriteBlock(int32(v.ID.File), v.ID.Num, data); err != nil {
+		// The victim is already out of the cache; dropping the write
+		// would lose data silently, so this is fatal. A store that can
+		// fail transiently belongs behind a retrying wrapper.
+		panic(fmt.Sprintf("core: write-back of %v failed: %v", v.ID, err))
+	}
+	l.charge(v.Owner, func(st *ProcStats) { st.WriteBacks++ })
+}
+
+// FlushDirty writes back every dirty block older than cutoff (pass
+// MaxTime for all), the update-daemon analogue. Returns blocks written.
+func (l *Live) FlushDirty(cutoff sim.Time) int {
+	n := 0
+	for _, b := range l.bc.DirtyOlderThan(cutoff) {
+		data := l.data[b.ID]
+		if data == nil {
+			l.bc.Clean(b)
+			continue
+		}
+		if err := l.store.WriteBlock(int32(b.ID.File), b.ID.Num, data); err != nil {
+			panic(fmt.Sprintf("core: write-back of %v failed: %v", b.ID, err))
+		}
+		l.bc.Clean(b)
+		l.charge(b.Owner, func(st *ProcStats) { st.WriteBacks++ })
+		n++
+	}
+	return n
+}
+
+// MaxTime is a cutoff that matches every dirty block.
+const MaxTime = sim.Time(math.MaxInt64)
+
+// Close flushes all dirty blocks and closes the store.
+func (l *Live) Close() error {
+	l.FlushDirty(MaxTime)
+	return l.store.Close()
+}
+
+// --- the fbehavior surface ---
+
+// EnableControl registers owner as a cache manager.
+func (l *Live) EnableControl(owner int) error {
+	o, err := l.owner(owner)
+	if err != nil {
+		return err
+	}
+	if o.mgr != nil {
+		return ErrControlled
+	}
+	m, err := l.ctl.CreateManager(owner)
+	if err != nil {
+		return err
+	}
+	o.mgr = m
+	o.stats.FbehaviorCalls++
+	return nil
+}
+
+// DisableControl withdraws cache control. No-op when not controlling.
+func (l *Live) DisableControl(owner int) error {
+	o, err := l.owner(owner)
+	if err != nil {
+		return err
+	}
+	if o.mgr == nil {
+		return nil
+	}
+	l.ctl.DestroyManager(owner)
+	o.mgr = nil
+	o.stats.FbehaviorCalls++
+	return nil
+}
+
+// Controlled reports whether owner manages its cache.
+func (l *Live) Controlled(owner int) bool {
+	o, err := l.owner(owner)
+	return err == nil && o.mgr != nil
+}
+
+func (l *Live) mgr(owner int) (*liveOwner, *acm.Manager, error) {
+	o, err := l.owner(owner)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.mgr == nil {
+		return nil, nil, ErrNoControl
+	}
+	o.stats.FbehaviorCalls++
+	return o, o.mgr, nil
+}
+
+// SetPriority sets the long-term cache priority of a file.
+func (l *Live) SetPriority(owner int, fid fs.FileID, prio int) error {
+	_, m, err := l.mgr(owner)
+	if err != nil {
+		return err
+	}
+	return m.SetPriority(fid, prio)
+}
+
+// GetPriority reads the long-term cache priority of a file.
+func (l *Live) GetPriority(owner int, fid fs.FileID) (int, error) {
+	_, m, err := l.mgr(owner)
+	if err != nil {
+		return 0, err
+	}
+	return m.Priority(fid), nil
+}
+
+// SetPolicy sets the replacement policy of a priority level.
+func (l *Live) SetPolicy(owner int, prio int, pol acm.Policy) error {
+	_, m, err := l.mgr(owner)
+	if err != nil {
+		return err
+	}
+	return m.SetPolicy(prio, pol)
+}
+
+// GetPolicy reads the replacement policy of a priority level.
+func (l *Live) GetPolicy(owner int, prio int) (acm.Policy, error) {
+	_, m, err := l.mgr(owner)
+	if err != nil {
+		return 0, err
+	}
+	return m.PolicyOf(prio), nil
+}
+
+// SetTempPri assigns a temporary priority to cached blocks of a file.
+func (l *Live) SetTempPri(owner int, fid fs.FileID, startBlk, endBlk int32, prio int) error {
+	_, m, err := l.mgr(owner)
+	if err != nil {
+		return err
+	}
+	return m.SetTempPri(fid, startBlk, endBlk, prio)
+}
+
+// --- invariants ---
+
+// CheckInvariants panics unless the kernel's cross-structure invariants
+// hold: the cache and ACM are self-consistent, every valid cached block
+// has bytes (and vice versa), every busy cached buffer has an in-flight
+// fill, and no cached block belongs to a released owner.
+func (l *Live) CheckInvariants() {
+	l.bc.CheckInvariants()
+	l.ctl.CheckInvariants()
+	now := l.Now()
+	cached := make(map[cache.BlockID]bool)
+	for _, id := range l.bc.GlobalOrder() {
+		cached[id] = true
+		b := l.bc.Peek(id)
+		if b == nil {
+			panic(fmt.Sprintf("core: GlobalOrder lists %v but Peek misses", id))
+		}
+		if b.Busy(now) {
+			if l.fills[b] == nil {
+				panic(fmt.Sprintf("core: cached busy block %v has no fill", id))
+			}
+		} else if l.data[id] == nil {
+			panic(fmt.Sprintf("core: cached valid block %v has no data", id))
+		}
+		if b.Owner != cache.NoOwner {
+			if b.Owner < 0 || b.Owner >= len(l.owners) || !l.owners[b.Owner].live {
+				panic(fmt.Sprintf("core: cached block %v owned by released owner %d", id, b.Owner))
+			}
+		}
+	}
+	for id := range l.data {
+		if !cached[id] {
+			panic(fmt.Sprintf("core: data held for uncached block %v", id))
+		}
+	}
+	for buf, fl := range l.fills {
+		if l.bc.Peek(fl.ID) == buf && !buf.Busy(now) {
+			panic(fmt.Sprintf("core: cached block %v has a fill but is not busy", fl.ID))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// store.go — the live (real-I/O) block backend behind the acfcd daemon.
+//
+// The simulated Disk in this package models *time*; a long-running cache
+// server needs a backend that actually holds bytes. A Store addresses
+// blocks by (file, block-number) pairs — the same coordinates as
+// cache.BlockID — and is safe for concurrent use, because the daemon
+// issues cache-fill reads from concurrent I/O goroutines while the kernel
+// loop performs write-backs.
+
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is a live block backend: it durably (or at least authoritatively)
+// holds the contents of every block ever written back, and serves fills
+// for blocks entering the cache. Blocks never written read as zeros, like
+// a freshly allocated file. Implementations must be safe for concurrent
+// use.
+type Store interface {
+	// ReadBlock fills dst (len BlockSize) with the block's contents.
+	ReadBlock(file int32, blk int32, dst []byte) error
+	// WriteBlock persists src (len BlockSize) as the block's contents.
+	WriteBlock(file int32, blk int32, src []byte) error
+	// Close releases the backend.
+	Close() error
+}
+
+// storeKey packs a (file, block) pair into one map key.
+func storeKey(file, blk int32) uint64 {
+	return uint64(uint32(file))<<32 | uint64(uint32(blk))
+}
+
+// MemStore is an in-memory Store: the zero-dependency backend for tests
+// and benchmarks, and the default for an acfcd daemon started without a
+// backing file.
+type MemStore struct {
+	mu     sync.RWMutex
+	blocks map[uint64][]byte
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blocks: make(map[uint64][]byte)}
+}
+
+// ReadBlock implements Store.
+func (m *MemStore) ReadBlock(file, blk int32, dst []byte) error {
+	if len(dst) != BlockSize {
+		return fmt.Errorf("disk: read buffer is %d bytes, want %d", len(dst), BlockSize)
+	}
+	m.mu.RLock()
+	src := m.blocks[storeKey(file, blk)]
+	if src == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst, src)
+	}
+	m.mu.RUnlock()
+	return nil
+}
+
+// WriteBlock implements Store.
+func (m *MemStore) WriteBlock(file, blk int32, src []byte) error {
+	if len(src) != BlockSize {
+		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(src), BlockSize)
+	}
+	owned := make([]byte, BlockSize)
+	copy(owned, src)
+	m.mu.Lock()
+	m.blocks[storeKey(file, blk)] = owned
+	m.mu.Unlock()
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// Blocks reports the number of distinct blocks ever written (tests).
+func (m *MemStore) Blocks() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blocks)
+}
+
+// FileStore is a Store backed by one flat file: blocks are appended to
+// slots as they are first written, and a slot map translates (file,
+// block) to the slot offset. Reads of unwritten blocks return zeros
+// without touching the file. Concurrent reads use pread on disjoint
+// offsets; writes serialize on the slot map's mutex (the kernel loop is
+// the only writer, so this costs nothing in practice).
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	slots map[uint64]int64
+	next  int64
+}
+
+// NewFileStore opens (creating or truncating) a file-backed store at
+// path.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{f: f, slots: make(map[uint64]int64)}, nil
+}
+
+// ReadBlock implements Store.
+func (s *FileStore) ReadBlock(file, blk int32, dst []byte) error {
+	if len(dst) != BlockSize {
+		return fmt.Errorf("disk: read buffer is %d bytes, want %d", len(dst), BlockSize)
+	}
+	s.mu.Lock()
+	off, ok := s.slots[storeKey(file, blk)]
+	s.mu.Unlock()
+	if !ok {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	_, err := s.f.ReadAt(dst, off)
+	return err
+}
+
+// WriteBlock implements Store.
+func (s *FileStore) WriteBlock(file, blk int32, src []byte) error {
+	if len(src) != BlockSize {
+		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(src), BlockSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := storeKey(file, blk)
+	off, ok := s.slots[k]
+	if !ok {
+		off = s.next
+		s.next += BlockSize
+		s.slots[k] = off
+	}
+	_, err := s.f.WriteAt(src, off)
+	return err
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,51 @@
+package expt
+
+import "repro/internal/core"
+
+// ReplayEvent is one entry in a captured workload transcript: either a
+// block access (IsCtl false) or a control-plane operation (IsCtl true).
+// The two streams are interleaved in the order the workload issued them,
+// which is everything a wire-level replay needs to reproduce the run.
+type ReplayEvent struct {
+	IsCtl  bool
+	Access core.TraceEvent
+	Ctl    core.CtlEvent
+}
+
+// Recording is a replayable transcript of one DES run: the spec that
+// produced it, every access and control event in issue order, and the
+// run's result — the ground truth the acfcd oracle test compares the
+// wire replay against.
+type Recording struct {
+	Spec   RunSpec
+	Events []ReplayEvent
+	Result RunResult
+}
+
+// Record executes spec with both trace hooks installed and returns the
+// transcript. The spec's own Trace/TraceCtl callbacks, if any, are
+// chained after capture. Traced runs are uncacheable, so Record always
+// executes (it calls Run directly, no Runner involved).
+//
+// For the transcript to be exactly replayable the spec should have
+// ReadAheadOff set (read-ahead issues I/O the trace does not record)
+// and a single app (so replay order is total, not an artifact of the
+// simulated interleaving).
+func Record(spec RunSpec) *Recording {
+	rec := &Recording{Spec: spec}
+	prevT, prevC := spec.Trace, spec.TraceCtl
+	spec.Trace = func(ev core.TraceEvent) {
+		rec.Events = append(rec.Events, ReplayEvent{Access: ev})
+		if prevT != nil {
+			prevT(ev)
+		}
+	}
+	spec.TraceCtl = func(ev core.CtlEvent) {
+		rec.Events = append(rec.Events, ReplayEvent{IsCtl: true, Ctl: ev})
+		if prevC != nil {
+			prevC(ev)
+		}
+	}
+	rec.Result = Run(spec)
+	return rec
+}

@@ -50,6 +50,11 @@ type RunSpec struct {
 	NoFastPath bool
 	// Trace, when non-nil, receives every block access.
 	Trace func(core.TraceEvent)
+	// TraceCtl, when non-nil, receives every successful control-plane
+	// operation (fbehavior calls, file creation/removal), interleaved in
+	// call order with Trace. Record uses the pair to capture replayable
+	// workload transcripts for the acfcd server.
+	TraceCtl func(core.CtlEvent)
 }
 
 // AppResult is one application's outcome.
@@ -163,6 +168,7 @@ func Run(spec RunSpec) RunResult {
 		cfg.DiskSched = disk.FIFO
 	}
 	cfg.Trace = spec.Trace
+	cfg.TraceCtl = spec.TraceCtl
 	cfg.NoSimFastPath = spec.NoFastPath || noFastPathDefault
 	sys := core.NewSystem(cfg)
 	procs := make([]*core.Proc, 0, len(spec.Apps))

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Runner schedules RunSpec executions across a pool of workers and
@@ -31,10 +32,10 @@ type Runner struct {
 	parallelism int
 	sem         chan struct{}
 
-	mu    sync.Mutex
-	cache map[string]*Future
-	stats RunnerStats
-	sim   sim.Stats // aggregated over every executed simulation
+	mu     sync.Mutex
+	cache  map[string]*Future
+	stats  RunnerStats
+	kernel stats.Snapshot // aggregated over every executed simulation
 }
 
 // RunnerStats counts scheduler activity. Executed is the number of
@@ -90,12 +91,21 @@ func (r *Runner) Stats() RunnerStats {
 // simulation this Runner executed (cache hits contribute once, when they
 // actually ran). Counter fields sum; HeapHighWater is the max over runs.
 func (r *Runner) SimStats() sim.Stats {
+	return r.KernelSnapshot().Sim
+}
+
+// KernelSnapshot returns the full kernel counters — buffer cache plus
+// DES engine — aggregated over every simulation this Runner executed.
+// It is the same stats.Snapshot schema the acfcd daemon's /metrics
+// endpoint exposes, so acbench -json and the server report identically
+// named counters.
+func (r *Runner) KernelSnapshot() stats.Snapshot {
 	if r == nil {
-		return sim.Stats{}
+		return stats.Snapshot{}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.sim
+	return r.kernel
 }
 
 // Future is a pending (or completed) RunResult.
@@ -112,7 +122,7 @@ func (f *Future) run(r *Runner) {
 		if r != nil {
 			r.mu.Lock()
 			r.stats.Executed++
-			r.sim.Accumulate(f.res.Sim)
+			r.kernel.Accumulate(stats.Snapshot{Cache: f.res.CacheStats, Sim: f.res.Sim})
 			r.mu.Unlock()
 		}
 		close(f.done)
@@ -188,7 +198,7 @@ var defaultSeed = core.DefaultConfig().Seed
 // field participates in the key — two specs that could ever produce
 // different results must never collide.
 func fingerprint(spec RunSpec) (string, bool) {
-	if spec.Trace != nil {
+	if spec.Trace != nil || spec.TraceCtl != nil {
 		return "", false
 	}
 	var b strings.Builder

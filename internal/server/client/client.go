@@ -1,0 +1,278 @@
+// Package client is the typed Go client for the acfcd wire protocol:
+// one method per operation of the paper's user/kernel interface. A Conn
+// issues one request at a time (round-trip under a mutex); concurrency
+// comes from opening several Conns, one per simulated application, which
+// is exactly the server's session-per-owner model.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/acm"
+	"repro/internal/fs"
+	"repro/internal/server"
+)
+
+// StatusError is a non-OK response.
+type StatusError struct {
+	Status uint8
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("acfcd: %s: %s", server.StatusName(e.Status), e.Msg)
+}
+
+// IsRefused reports whether err is the server refusing work because it
+// is draining for shutdown. Load generators count these apart from real
+// errors.
+func IsRefused(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == server.StatusRefused
+}
+
+// File describes an open file.
+type File struct {
+	ID   fs.FileID
+	Size int // blocks, at open/create time
+}
+
+// Conn is one client session = one cache owner on the server.
+type Conn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	nextID uint32
+}
+
+// Dial connects to an acfcd server ("unix", "/path" or "tcp", "addr").
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Close ends the session; the server releases this owner's blocks.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// roundTrip issues one request and waits for its response.
+func (c *Conn) roundTrip(op uint8, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := server.WriteFrame(c.c, id, op, body); err != nil {
+		return nil, err
+	}
+	gotID, status, resp, err := server.ReadFrame(c.c)
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("acfcd: response id %d for request %d", gotID, id)
+	}
+	if status != server.StatusOK {
+		return nil, &StatusError{Status: status, Msg: string(resp)}
+	}
+	return resp, nil
+}
+
+// Ping round-trips an empty frame.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip(server.OpPing, nil)
+	return err
+}
+
+// Open resolves a file by name.
+func (c *Conn) Open(name string) (File, error) {
+	resp, err := c.roundTrip(server.OpOpen, []byte(name))
+	if err != nil {
+		return File{}, err
+	}
+	if len(resp) != 8 {
+		return File{}, fmt.Errorf("acfcd: open: %d-byte response", len(resp))
+	}
+	return File{ID: fs.FileID(be32(resp[0:])), Size: int(be32(resp[4:]))}, nil
+}
+
+// Create creates a file of sizeBlocks blocks on disk d.
+func (c *Conn) Create(name string, d, sizeBlocks int) (File, error) {
+	body := make([]byte, 5+len(name))
+	body[0] = uint8(d)
+	put32(body[1:], uint32(sizeBlocks))
+	copy(body[5:], name)
+	resp, err := c.roundTrip(server.OpCreate, body)
+	if err != nil {
+		return File{}, err
+	}
+	if len(resp) != 8 {
+		return File{}, fmt.Errorf("acfcd: create: %d-byte response", len(resp))
+	}
+	return File{ID: fs.FileID(be32(resp[0:])), Size: int(be32(resp[4:]))}, nil
+}
+
+// Remove unlinks a file by name.
+func (c *Conn) Remove(name string) error {
+	_, err := c.roundTrip(server.OpRemove, []byte(name))
+	return err
+}
+
+// CloseFile closes an open file (advisory; blocks stay cached).
+func (c *Conn) CloseFile(f fs.FileID) error {
+	body := make([]byte, 4)
+	put32(body, uint32(f))
+	_, err := c.roundTrip(server.OpClose, body)
+	return err
+}
+
+func readBody(f fs.FileID, blk int32, off, size int, flags uint8) []byte {
+	body := make([]byte, 13)
+	put32(body[0:], uint32(f))
+	put32(body[4:], uint32(blk))
+	put16(body[8:], uint16(off))
+	put16(body[10:], uint16(size))
+	body[12] = flags
+	return body
+}
+
+// Read reads size bytes at off within block blk. It returns the bytes
+// and whether the access hit the cache.
+func (c *Conn) Read(f fs.FileID, blk int32, off, size int) (data []byte, hit bool, err error) {
+	resp, err := c.roundTrip(server.OpRead, readBody(f, blk, off, size, 0))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) != 1+size {
+		return nil, false, fmt.Errorf("acfcd: read: %d-byte response, want %d", len(resp), 1+size)
+	}
+	return resp[1:], resp[0]&server.FlagHit != 0, nil
+}
+
+// ReadNoData performs the access without transferring the bytes back:
+// the load generator's probe.
+func (c *Conn) ReadNoData(f fs.FileID, blk int32, off, size int) (hit bool, err error) {
+	resp, err := c.roundTrip(server.OpRead, readBody(f, blk, off, size, server.ReadNoData))
+	if err != nil {
+		return false, err
+	}
+	if len(resp) != 1 {
+		return false, fmt.Errorf("acfcd: read: %d-byte response, want 1", len(resp))
+	}
+	return resp[0]&server.FlagHit != 0, nil
+}
+
+// Write writes payload at off within block blk, growing the file as
+// needed.
+func (c *Conn) Write(f fs.FileID, blk int32, off int, payload []byte) (hit bool, err error) {
+	body := make([]byte, 12+len(payload))
+	put32(body[0:], uint32(f))
+	put32(body[4:], uint32(blk))
+	put16(body[8:], uint16(off))
+	put16(body[10:], uint16(len(payload)))
+	copy(body[12:], payload)
+	resp, err := c.roundTrip(server.OpWrite, body)
+	if err != nil {
+		return false, err
+	}
+	if len(resp) != 1 {
+		return false, fmt.Errorf("acfcd: write: %d-byte response", len(resp))
+	}
+	return resp[0]&server.FlagHit != 0, nil
+}
+
+// Control enables (true) or disables (false) cache control — the
+// manager session of the fbehavior interface.
+func (c *Conn) Control(enable bool) error {
+	body := []byte{0}
+	if enable {
+		body[0] = 1
+	}
+	_, err := c.roundTrip(server.OpControl, body)
+	return err
+}
+
+// SetPriority sets the long-term cache priority of a file.
+func (c *Conn) SetPriority(f fs.FileID, prio int) error {
+	body := make([]byte, 8)
+	put32(body[0:], uint32(f))
+	put32(body[4:], uint32(int32(prio)))
+	_, err := c.roundTrip(server.OpSetPriority, body)
+	return err
+}
+
+// GetPriority reads the long-term cache priority of a file.
+func (c *Conn) GetPriority(f fs.FileID) (int, error) {
+	body := make([]byte, 4)
+	put32(body, uint32(f))
+	resp, err := c.roundTrip(server.OpGetPriority, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 4 {
+		return 0, fmt.Errorf("acfcd: get_priority: %d-byte response", len(resp))
+	}
+	return int(int32(be32(resp))), nil
+}
+
+// SetPolicy sets the replacement policy of a priority level.
+func (c *Conn) SetPolicy(prio int, pol acm.Policy) error {
+	body := make([]byte, 5)
+	put32(body[0:], uint32(int32(prio)))
+	body[4] = uint8(pol)
+	_, err := c.roundTrip(server.OpSetPolicy, body)
+	return err
+}
+
+// GetPolicy reads the replacement policy of a priority level.
+func (c *Conn) GetPolicy(prio int) (acm.Policy, error) {
+	body := make([]byte, 4)
+	put32(body, uint32(int32(prio)))
+	resp, err := c.roundTrip(server.OpGetPolicy, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 1 {
+		return 0, fmt.Errorf("acfcd: get_policy: %d-byte response", len(resp))
+	}
+	return acm.Policy(resp[0]), nil
+}
+
+// SetTempPri assigns a temporary priority to cached blocks of f in
+// [startBlk, endBlk].
+func (c *Conn) SetTempPri(f fs.FileID, startBlk, endBlk int32, prio int) error {
+	body := make([]byte, 16)
+	put32(body[0:], uint32(f))
+	put32(body[4:], uint32(startBlk))
+	put32(body[8:], uint32(endBlk))
+	put32(body[12:], uint32(int32(prio)))
+	_, err := c.roundTrip(server.OpSetTempPri, body)
+	return err
+}
+
+// Stats fetches this session's counters and the kernel snapshot.
+func (c *Conn) Stats() (server.StatsReply, error) {
+	resp, err := c.roundTrip(server.OpStats, nil)
+	if err != nil {
+		return server.StatsReply{}, err
+	}
+	var sr server.StatsReply
+	if err := json.Unmarshal(resp, &sr); err != nil {
+		return server.StatsReply{}, err
+	}
+	return sr, nil
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+func put16(b []byte, v uint16) {
+	b[0], b[1] = byte(v>>8), byte(v)
+}

@@ -1,0 +1,145 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/fs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// TestOracleWireReplayMatchesSimulation is the correctness oracle of the
+// server subsystem: record a deterministic workload in the DES (every
+// block access and every control call, in issue order), replay the
+// transcript through acfcd over a real socket, and require the hit/miss
+// and I/O accounting to come out byte-identical.
+//
+// The parity argument: with read-ahead off, a single app, a serial
+// replay, and the server's deterministic tick clock, replacement is a
+// pure function of the request sequence — the wire adds latency but the
+// kernel loop sees the exact same order of operations the simulated
+// kernel saw. Counters the comparison must exclude, and why:
+//
+//   - WriteBacks: the DES flushes dirty blocks on the 30-second update
+//     daemon; the live kernel flushes synchronously at eviction. Same
+//     blocks, different moments.
+//   - Opens / MetadataReads: Open calls are not traced (replay resolves
+//     files through Create events instead).
+//   - FbehaviorCalls: Get* calls are untraced (they change nothing), so
+//     the replayed call count differs from the workload's.
+func TestOracleWireReplayMatchesSimulation(t *testing.T) {
+	cases := []struct {
+		app     string
+		mode    workload.Mode
+		cacheMB float64
+		alloc   cache.Alloc
+	}{
+		{"cs1", workload.Smart, 2, cache.LRUSP},    // read-only scans, fbehavior-heavy
+		{"cs1", workload.Oblivious, 2, cache.GlobalLRU},
+		{"sort", workload.Smart, 2, cache.LRUSP},   // writes, grows and removes files
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app+"/"+tc.mode.String(), func(t *testing.T) {
+			if testing.Short() && tc.app == "sort" {
+				t.Skip("sort transcript is large; skipped in -short")
+			}
+			rec := expt.Record(expt.RunSpec{
+				Apps:         []expt.AppSpec{{Name: tc.app, Make: expt.Registry[tc.app], Mode: tc.mode}},
+				CacheMB:      tc.cacheMB,
+				Alloc:        tc.alloc,
+				ReadAheadOff: true,
+			})
+			if len(rec.Events) == 0 {
+				t.Fatal("recording captured no events")
+			}
+
+			// WallClock off: the server's logical tick clock makes the
+			// replay's recency order deterministic.
+			_, _, dial := startServer(t, server.Config{Kernel: core.LiveConfig{
+				CacheBytes: core.MB(tc.cacheMB),
+				Alloc:      tc.alloc,
+			}})
+			c := dial()
+			defer c.Close()
+
+			replayTranscript(t, c, rec.Events)
+
+			sr, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rec.Result.PerApp[0].Stats
+			got := sr.Session
+			type subset struct {
+				ReadCalls, WriteCalls, Hits, Misses, DemandReads, Prefetches int64
+			}
+			wantSub := subset{want.ReadCalls, want.WriteCalls, want.Hits, want.Misses, want.DemandReads, want.Prefetches}
+			gotSub := subset{got.ReadCalls, got.WriteCalls, got.Hits, got.Misses, got.DemandReads, got.Prefetches}
+			if gotSub != wantSub {
+				t.Errorf("session stats diverge from simulation:\n got %+v\nwant %+v", gotSub, wantSub)
+			}
+			if sr.Kernel.Cache != rec.Result.CacheStats {
+				t.Errorf("cache stats diverge from simulation:\n got %+v\nwant %+v", sr.Kernel.Cache, rec.Result.CacheStats)
+			}
+		})
+	}
+}
+
+// replayTranscript pushes a recorded transcript through one session,
+// serially, failing the test on any wire or status error. Recorded file
+// ids map to server ids at each Create event, exactly as acload does.
+func replayTranscript(t *testing.T, c *client.Conn, events []expt.ReplayEvent) {
+	t.Helper()
+	files := make(map[fs.FileID]fs.FileID)
+	payload := make([]byte, core.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i, ev := range events {
+		var err error
+		if ev.IsCtl {
+			ct := ev.Ctl
+			switch ct.Op {
+			case core.CtlCreateFile:
+				var f client.File
+				f, err = c.Create(ct.FileName, ct.Disk, ct.Size)
+				if err == nil {
+					files[ct.File] = f.ID
+				}
+			case core.CtlRemoveFile:
+				err = c.Remove(ct.FileName)
+				delete(files, ct.File)
+			case core.CtlControl:
+				err = c.Control(ct.Enable)
+			case core.CtlSetPriority:
+				err = c.SetPriority(files[ct.File], ct.Prio)
+			case core.CtlSetPolicy:
+				err = c.SetPolicy(ct.Prio, ct.Policy)
+			case core.CtlSetTempPri:
+				err = c.SetTempPri(files[ct.File], ct.Start, ct.End, ct.Prio)
+			}
+			if err != nil {
+				t.Fatalf("event %d (ctl %d): %v", i, ct.Op, err)
+			}
+			continue
+		}
+		a := ev.Access
+		fid, ok := files[a.File]
+		if !ok {
+			t.Fatalf("event %d: access to file %d before its create event", i, a.File)
+		}
+		if a.Write {
+			_, err = c.Write(fid, a.Block, a.Off, payload[:a.Size])
+		} else {
+			_, err = c.ReadNoData(fid, a.Block, a.Off, a.Size)
+		}
+		if err != nil {
+			t.Fatalf("event %d (file %d blk %d): %v", i, a.File, a.Block, err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package server implements acfcd, a concurrent application-controlled
+// cache server: the paper's user/kernel interface — open, read, write,
+// close, plus the five fbehavior cache-control calls — exposed to real
+// client processes over a socket, with one Live kernel behind a single
+// serialized kernel loop.
+//
+// Wire protocol. Every message is a length-prefixed binary frame,
+// big-endian throughout:
+//
+//	u32 length   (covers id + tag + body = 5 + len(body))
+//	u32 id       (request id; the response echoes it)
+//	u8  tag      (request: opcode; response: status)
+//	...body
+//
+// Requests on one connection may be pipelined; responses carry the
+// request id and may complete out of order (a cache hit overtakes an
+// earlier miss waiting on disk). Per-op bodies:
+//
+//	op            request body                          OK response body
+//	ping          -                                     -
+//	open          name                                  file u32 | size u32
+//	create        disk u8 | size u32 | name             file u32 | size u32
+//	read          file u32 | blk u32 | off u16 |        flags u8 (bit0 hit) | data
+//	              size u16 | flags u8 (bit0 nodata)
+//	write         file u32 | blk u32 | off u16 |        flags u8 (bit0 hit)
+//	              len u16 | data
+//	close         file u32                              -
+//	remove        name                                  -
+//	control       enable u8                             -
+//	set_priority  file u32 | prio i32                   -
+//	get_priority  file u32                              prio i32
+//	set_policy    prio i32 | policy u8                  policy u8
+//	get_policy    prio i32                              policy u8
+//	set_temppri   file u32 | start u32 | end u32 |      -
+//	              prio i32
+//	stats         -                                     JSON (StatsReply)
+//
+// Non-OK responses carry the error message as the body.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes (request tag).
+const (
+	OpPing uint8 = 1 + iota
+	OpOpen
+	OpCreate
+	OpRead
+	OpWrite
+	OpClose
+	OpRemove
+	OpControl
+	OpSetPriority
+	OpGetPriority
+	OpSetPolicy
+	OpGetPolicy
+	OpSetTempPri
+	OpStats
+)
+
+// Statuses (response tag).
+const (
+	StatusOK uint8 = iota
+	StatusBadRequest
+	StatusNotFound
+	StatusExists
+	StatusLimit     // a kernel resource limit (managers, levels, file records, disk space)
+	StatusNoControl // fbehavior call without EnableControl, or no such owner
+	StatusRefused   // server is draining for shutdown
+	StatusIO
+	StatusRange
+)
+
+// StatusName names a status for reports.
+func StatusName(st uint8) string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusNotFound:
+		return "not_found"
+	case StatusExists:
+		return "exists"
+	case StatusLimit:
+		return "limit"
+	case StatusNoControl:
+		return "no_control"
+	case StatusRefused:
+		return "refused"
+	case StatusIO:
+		return "io"
+	case StatusRange:
+		return "range"
+	}
+	return fmt.Sprintf("status%d", st)
+}
+
+// Read request flag bits.
+const (
+	// ReadNoData suppresses the block bytes in the response: the access
+	// (and its accounting, fills, replacement) happens normally, but the
+	// reply carries only the hit flag. Load generation uses it to
+	// measure cache behavior without paying response bandwidth.
+	ReadNoData uint8 = 1 << 0
+)
+
+// Response flag bits (read and write).
+const (
+	// FlagHit reports that the access hit the cache.
+	FlagHit uint8 = 1 << 0
+)
+
+// MaxFrame bounds a frame: the largest legal message is a whole-block
+// write (header + 13 bytes of fields + one 8 KB block).
+const MaxFrame = 16 * 1024
+
+// frameOverhead is the id+tag part covered by the length prefix.
+const frameOverhead = 5
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, id uint32, tag uint8, body []byte) error {
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], id)
+	hdr[8] = tag
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, allocating a fresh body slice.
+func ReadFrame(r io.Reader) (id uint32, tag uint8, body []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n < frameOverhead || n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("server: bad frame length %d", n)
+	}
+	id = binary.BigEndian.Uint32(hdr[4:])
+	tag = hdr[8]
+	if n > frameOverhead {
+		body = make([]byte, n-frameOverhead)
+		if _, err = io.ReadFull(r, body); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return id, tag, body, nil
+}
+
+// be32 / be16 are tiny read helpers for request parsing; the caller has
+// already bounds-checked the body.
+func be32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+func be16(b []byte) uint16 { return binary.BigEndian.Uint16(b) }
+
+func put32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
+func put16(b []byte, v uint16) { binary.BigEndian.PutUint16(b, v) }

@@ -1,0 +1,674 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/stats"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Kernel configures the Live kernel. Config overwrites
+	// Kernel.StartFill: the server owns fill execution.
+	Kernel core.LiveConfig
+	// MaxInflight bounds pipelined requests per session (default 32).
+	// The bound is what lets the kernel loop respond without ever
+	// blocking on a slow client: a session holds one token per
+	// unanswered request, so the response channel never fills.
+	MaxInflight int
+	// IdleTimeout disconnects a session with no traffic for this long
+	// (default 2 minutes); disconnect releases the session's owner.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 30s).
+	WriteTimeout time.Duration
+	// CheckInvariants runs the kernel's cross-structure invariant
+	// checks after every session close (tests; too slow for production).
+	CheckInvariants bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// StatsReply is the JSON body of an OpStats response.
+type StatsReply struct {
+	Session core.ProcStats `json:"session"`
+	Kernel  stats.Snapshot `json:"kernel"`
+}
+
+// SessionInfo describes one live session in a Metrics snapshot.
+type SessionInfo struct {
+	Owner int
+	Name  string
+	Stats core.ProcStats
+}
+
+// Metrics is a point-in-time server snapshot.
+type Metrics struct {
+	Kernel         stats.Snapshot
+	SessionsActive int
+	SessionsTotal  int64
+	Requests       int64
+	Refused        int64
+	FillsInflight  int
+	CachedBlocks   int
+	Sessions       []SessionInfo
+}
+
+// request is one decoded frame from a session.
+type request struct {
+	id   uint32
+	op   uint8
+	body []byte
+}
+
+// outFrame is one response queued to a session's writer.
+type outFrame struct {
+	id   uint32
+	tag  uint8
+	body []byte
+}
+
+// session is one client connection = one cache owner. The reader and
+// writer goroutines own conn's two directions; owner/closed belong to
+// the kernel loop alone.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	name string
+
+	// tokens implements per-session backpressure: the reader takes a
+	// token per request and the writer returns it after the response
+	// hits the wire, so at most MaxInflight responses can ever be
+	// queued — which is why the kernel loop's sends to out can never
+	// block, and a dead client can never wedge the kernel.
+	tokens chan struct{}
+	out    chan outFrame
+	die    chan struct{}
+	once   sync.Once
+
+	// Kernel-goroutine state.
+	owner  int
+	closed bool
+}
+
+// kill tears the connection down; safe from any goroutine, idempotent.
+func (s *session) kill() {
+	s.once.Do(func() {
+		close(s.die)
+		s.conn.Close()
+	})
+}
+
+// send queues a response. Kernel goroutine only; never blocks (see
+// session.tokens); drops the frame once the session has closed.
+func (s *session) send(id uint32, tag uint8, body []byte) {
+	if s.closed {
+		return
+	}
+	s.out <- outFrame{id: id, tag: tag, body: body}
+}
+
+func (s *session) sendErr(id uint32, err error) {
+	s.send(id, statusOf(err), []byte(err.Error()))
+}
+
+// kmsg is one message into the kernel loop. Exactly one field group is
+// set: a session event (sess + req/open/close), a completed fill, a
+// metrics request, or a shutdown phase.
+type kmsg struct {
+	sess    *session
+	req     *request // with sess: one request frame
+	open    bool     // with sess: session arrived
+	close   bool     // with sess: session is gone
+	fill    *core.Fill
+	metrics chan<- Metrics
+	drain   bool // begin refusing requests
+	force   bool // kill every remaining session
+}
+
+// Server is the acfcd daemon: one Live kernel, one kernel-loop
+// goroutine that owns it, and any number of client sessions feeding it
+// requests over a channel.
+type Server struct {
+	cfg  Config
+	kern *core.Live
+	kch  chan kmsg
+	// kdone closes when the kernel loop exits (shutdown drained).
+	kdone chan struct{}
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	down      bool
+
+	// Kernel-goroutine state.
+	sessions      map[*session]bool
+	draining      bool
+	fillsInflight int
+	requests      int64
+	refused       int64
+	sessionsTotal int64
+}
+
+// New builds a Server and starts its kernel loop.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	srv := &Server{
+		cfg:      cfg,
+		kch:      make(chan kmsg, 256),
+		kdone:    make(chan struct{}),
+		sessions: make(map[*session]bool),
+	}
+	// Fills run on one goroutine each and re-enter through the kernel
+	// channel; the loop counts them so shutdown can wait for the last.
+	cfg.Kernel.StartFill = func(fl *core.Fill) {
+		srv.fillsInflight++
+		store := srv.kern.Store()
+		go func() {
+			fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+			srv.kch <- kmsg{fill: fl}
+		}()
+	}
+	srv.kern = core.NewLive(cfg.Kernel)
+	go srv.kernelLoop()
+	return srv
+}
+
+// Kernel exposes the Live kernel for tests. The kernel is owned by the
+// kernel loop; callers must not touch it while the server is running.
+func (s *Server) Kernel() *core.Live { return s.kern }
+
+// Serve accepts connections on ln until the listener is closed. One
+// Server may serve several listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || strings.Contains(err.Error(), "use of closed")
+}
+
+// startSession registers conn as a new owner session and starts its
+// reader and writer. The registration message is enqueued before the
+// reader exists, so the kernel always sees open before the first
+// request.
+func (s *Server) startSession(conn net.Conn) {
+	se := &session{
+		srv:    s,
+		conn:   conn,
+		name:   conn.RemoteAddr().String(),
+		tokens: make(chan struct{}, s.cfg.MaxInflight),
+		out:    make(chan outFrame, s.cfg.MaxInflight),
+		die:    make(chan struct{}),
+	}
+	for i := 0; i < s.cfg.MaxInflight; i++ {
+		se.tokens <- struct{}{}
+	}
+	s.kch <- kmsg{sess: se, open: true}
+	go se.readLoop()
+	go se.writeLoop()
+}
+
+func (se *session) readLoop() {
+	for {
+		se.conn.SetReadDeadline(time.Now().Add(se.srv.cfg.IdleTimeout))
+		id, op, body, err := ReadFrame(se.conn)
+		if err != nil {
+			break
+		}
+		select {
+		case <-se.tokens:
+		case <-se.die:
+		}
+		select {
+		case <-se.die:
+			// Don't enqueue after kill: the close message must be the
+			// session's last.
+		default:
+			se.srv.kch <- kmsg{sess: se, req: &request{id: id, op: op, body: body}}
+			continue
+		}
+		break
+	}
+	se.kill()
+	se.srv.kch <- kmsg{sess: se, close: true}
+}
+
+func (se *session) writeLoop() {
+	// Keep draining out even after a write error: the kernel's sends
+	// and the reader's tokens both depend on this loop consuming.
+	dead := false
+	for f := range se.out {
+		if !dead {
+			se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
+			if err := WriteFrame(se.conn, f.id, f.tag, f.body); err != nil {
+				dead = true
+				se.kill()
+			}
+		}
+		select {
+		case se.tokens <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Shutdown drains the server: listeners close, every queued and
+// in-flight request completes or is refused (StatusRefused), and the
+// kernel loop exits once the last session disconnects and the last fill
+// lands. If ctx expires first, remaining sessions are disconnected
+// forcibly; Shutdown still waits for the loop to drain (fills are
+// local I/O and always complete).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.down
+	s.down = true
+	lns := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	if already {
+		<-s.kdone
+		return nil
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.kch <- kmsg{drain: true}
+	select {
+	case <-s.kdone:
+		return nil
+	case <-ctx.Done():
+		// The loop may have already drained and exited; never block on
+		// a channel it no longer reads.
+		select {
+		case s.kch <- kmsg{force: true}:
+		case <-s.kdone:
+		}
+		<-s.kdone
+		return ctx.Err()
+	}
+}
+
+// Metrics snapshots the server counters; ok is false after shutdown.
+func (s *Server) Metrics() (m Metrics, ok bool) {
+	ch := make(chan Metrics, 1)
+	select {
+	case s.kch <- kmsg{metrics: ch}:
+	case <-s.kdone:
+		return Metrics{}, false
+	}
+	select {
+	case m = <-ch:
+		return m, true
+	case <-s.kdone:
+		return Metrics{}, false
+	}
+}
+
+// --- the kernel loop ---
+
+// kernelLoop is the one goroutine that owns the Live kernel. Every
+// cache operation in the process happens here, in arrival order — the
+// serialization rule that lets the DES-era cache and ACM structures run
+// a concurrent server unchanged.
+func (s *Server) kernelLoop() {
+	for m := range s.kch {
+		switch {
+		case m.fill != nil:
+			s.fillsInflight--
+			s.kern.CompleteFill(m.fill)
+		case m.metrics != nil:
+			m.metrics <- s.snapshotMetrics()
+		case m.drain:
+			s.draining = true
+			if s.doneDraining() {
+				close(s.kdone)
+				return
+			}
+		case m.force:
+			for se := range s.sessions {
+				se.kill()
+			}
+		case m.sess != nil && m.open:
+			m.sess.owner = s.kern.AddOwner(m.sess.name)
+			s.sessions[m.sess] = true
+			s.sessionsTotal++
+			if s.draining {
+				m.sess.kill()
+			}
+		case m.sess != nil && m.close:
+			s.closeSession(m.sess)
+			if s.draining && s.doneDraining() {
+				close(s.kdone)
+				return
+			}
+		case m.sess != nil && m.req != nil:
+			s.handle(m.sess, m.req)
+		}
+	}
+}
+
+// doneDraining reports whether the drained kernel loop may exit: no
+// session can enqueue another message and no fill is in flight.
+func (s *Server) doneDraining() bool {
+	return len(s.sessions) == 0 && s.fillsInflight == 0
+}
+
+// closeSession releases a disconnected session's owner: its manager is
+// destroyed and its blocks transferred or evicted — the cache's revoked
+// owner path, run on every client disconnect.
+func (s *Server) closeSession(se *session) {
+	if !s.sessions[se] {
+		return
+	}
+	delete(s.sessions, se)
+	se.closed = true
+	close(se.out)
+	s.kern.ReleaseOwner(se.owner)
+	if s.cfg.CheckInvariants {
+		s.kern.CheckInvariants()
+	}
+}
+
+func (s *Server) snapshotMetrics() Metrics {
+	m := Metrics{
+		Kernel:         s.kern.Snapshot(),
+		SessionsActive: len(s.sessions),
+		SessionsTotal:  s.sessionsTotal,
+		Requests:       s.requests,
+		Refused:        s.refused,
+		FillsInflight:  s.fillsInflight,
+		CachedBlocks:   s.kern.Cache().Len(),
+	}
+	for se := range s.sessions {
+		st, _ := s.kern.OwnerStats(se.owner)
+		m.Sessions = append(m.Sessions, SessionInfo{Owner: se.owner, Name: se.name, Stats: st})
+	}
+	return m
+}
+
+// --- request dispatch (kernel goroutine) ---
+
+func statusOf(err error) uint8 {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, core.ErrOutOfRange):
+		return StatusRange
+	case errors.Is(err, core.ErrNoControl), errors.Is(err, core.ErrControlled),
+		errors.Is(err, core.ErrUnknownOwner):
+		return StatusNoControl
+	case err != nil && strings.Contains(err.Error(), "exists"):
+		return StatusExists
+	case err != nil && (strings.Contains(err.Error(), "limit") || strings.Contains(err.Error(), "space")):
+		return StatusLimit
+	}
+	return StatusIO
+}
+
+func (s *Server) handle(se *session, r *request) {
+	s.requests++
+	if s.draining {
+		s.refused++
+		se.send(r.id, StatusRefused, []byte("server shutting down"))
+		return
+	}
+	switch r.op {
+	case OpPing:
+		se.send(r.id, StatusOK, nil)
+	case OpOpen:
+		s.handleOpen(se, r)
+	case OpCreate:
+		s.handleCreate(se, r)
+	case OpRead:
+		s.handleRead(se, r)
+	case OpWrite:
+		s.handleWrite(se, r)
+	case OpClose:
+		if len(r.body) != 4 {
+			se.send(r.id, StatusBadRequest, []byte("close: want 4-byte body"))
+			return
+		}
+		// Close is advisory in this kernel (blocks stay cached, as in
+		// the paper, until evicted or the owner disconnects).
+		se.send(r.id, StatusOK, nil)
+	case OpRemove:
+		if err := s.kern.Remove(se.owner, string(r.body)); err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		se.send(r.id, StatusOK, nil)
+	case OpControl:
+		s.handleControl(se, r)
+	case OpSetPriority, OpGetPriority, OpSetPolicy, OpGetPolicy, OpSetTempPri:
+		s.handleFbehavior(se, r)
+	case OpStats:
+		s.handleStats(se, r)
+	default:
+		se.send(r.id, StatusBadRequest, []byte(fmt.Sprintf("unknown op %d", r.op)))
+	}
+}
+
+func (s *Server) handleOpen(se *session, r *request) {
+	f, err := s.kern.Open(se.owner, string(r.body))
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	resp := make([]byte, 8)
+	put32(resp[0:], uint32(f.ID()))
+	put32(resp[4:], uint32(f.Size()))
+	se.send(r.id, StatusOK, resp)
+}
+
+func (s *Server) handleCreate(se *session, r *request) {
+	if len(r.body) < 6 {
+		se.send(r.id, StatusBadRequest, []byte("create: short body"))
+		return
+	}
+	d := int(r.body[0])
+	size := int(be32(r.body[1:]))
+	name := string(r.body[5:])
+	if name == "" {
+		se.send(r.id, StatusBadRequest, []byte("create: empty name"))
+		return
+	}
+	f, err := s.kern.Create(se.owner, name, d, size)
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	resp := make([]byte, 8)
+	put32(resp[0:], uint32(f.ID()))
+	put32(resp[4:], uint32(f.Size()))
+	se.send(r.id, StatusOK, resp)
+}
+
+func (s *Server) handleRead(se *session, r *request) {
+	if len(r.body) != 13 {
+		se.send(r.id, StatusBadRequest, []byte("read: want 13-byte body"))
+		return
+	}
+	fid := fs.FileID(be32(r.body[0:]))
+	blk := int32(be32(r.body[4:]))
+	off := int(be16(r.body[8:]))
+	size := int(be16(r.body[10:]))
+	flags := r.body[12]
+	s.kern.Read(se.owner, fid, blk, off, size, func(data []byte, hit bool, err error) {
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		var resp []byte
+		if flags&ReadNoData != 0 {
+			resp = make([]byte, 1)
+		} else {
+			// Copy now: data aliases the cached block, which later
+			// writes mutate, and the writer goroutine serializes resp
+			// after this callback returns.
+			resp = make([]byte, 1+size)
+			copy(resp[1:], data[off:off+size])
+		}
+		if hit {
+			resp[0] = FlagHit
+		}
+		se.send(r.id, StatusOK, resp)
+	})
+}
+
+func (s *Server) handleWrite(se *session, r *request) {
+	if len(r.body) < 12 {
+		se.send(r.id, StatusBadRequest, []byte("write: short body"))
+		return
+	}
+	fid := fs.FileID(be32(r.body[0:]))
+	blk := int32(be32(r.body[4:]))
+	off := int(be16(r.body[8:]))
+	dlen := int(be16(r.body[10:]))
+	if len(r.body) != 12+dlen {
+		se.send(r.id, StatusBadRequest, []byte("write: length mismatch"))
+		return
+	}
+	payload := r.body[12:]
+	s.kern.Write(se.owner, fid, blk, off, payload, func(hit bool, err error) {
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		resp := make([]byte, 1)
+		if hit {
+			resp[0] = FlagHit
+		}
+		se.send(r.id, StatusOK, resp)
+	})
+}
+
+func (s *Server) handleControl(se *session, r *request) {
+	if len(r.body) != 1 {
+		se.send(r.id, StatusBadRequest, []byte("control: want 1-byte body"))
+		return
+	}
+	var err error
+	if r.body[0] != 0 {
+		err = s.kern.EnableControl(se.owner)
+	} else {
+		err = s.kern.DisableControl(se.owner)
+	}
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	se.send(r.id, StatusOK, nil)
+}
+
+func (s *Server) handleFbehavior(se *session, r *request) {
+	switch r.op {
+	case OpSetPriority:
+		if len(r.body) != 8 {
+			se.send(r.id, StatusBadRequest, []byte("set_priority: want 8-byte body"))
+			return
+		}
+		err := s.kern.SetPriority(se.owner, fs.FileID(be32(r.body[0:])), int(int32(be32(r.body[4:]))))
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		se.send(r.id, StatusOK, nil)
+	case OpGetPriority:
+		if len(r.body) != 4 {
+			se.send(r.id, StatusBadRequest, []byte("get_priority: want 4-byte body"))
+			return
+		}
+		prio, err := s.kern.GetPriority(se.owner, fs.FileID(be32(r.body[0:])))
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		resp := make([]byte, 4)
+		put32(resp, uint32(int32(prio)))
+		se.send(r.id, StatusOK, resp)
+	case OpSetPolicy:
+		if len(r.body) != 5 {
+			se.send(r.id, StatusBadRequest, []byte("set_policy: want 5-byte body"))
+			return
+		}
+		err := s.kern.SetPolicy(se.owner, int(int32(be32(r.body[0:]))), acm.Policy(r.body[4]))
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		se.send(r.id, StatusOK, []byte{r.body[4]})
+	case OpGetPolicy:
+		if len(r.body) != 4 {
+			se.send(r.id, StatusBadRequest, []byte("get_policy: want 4-byte body"))
+			return
+		}
+		pol, err := s.kern.GetPolicy(se.owner, int(int32(be32(r.body[0:]))))
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		se.send(r.id, StatusOK, []byte{uint8(pol)})
+	case OpSetTempPri:
+		if len(r.body) != 16 {
+			se.send(r.id, StatusBadRequest, []byte("set_temppri: want 16-byte body"))
+			return
+		}
+		err := s.kern.SetTempPri(se.owner, fs.FileID(be32(r.body[0:])),
+			int32(be32(r.body[4:])), int32(be32(r.body[8:])), int(int32(be32(r.body[12:]))))
+		if err != nil {
+			se.sendErr(r.id, err)
+			return
+		}
+		se.send(r.id, StatusOK, nil)
+	}
+}
+
+func (s *Server) handleStats(se *session, r *request) {
+	st, err := s.kern.OwnerStats(se.owner)
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	body, err := json.Marshal(StatsReply{Session: st, Kernel: s.kern.Snapshot()})
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	se.send(r.id, StatusOK, body)
+}

@@ -1,0 +1,57 @@
+// Package stats defines the one shared snapshot schema for the kernel's
+// observable counters: the buffer-cache counters (cache.Stats) and the
+// DES engine counters (sim.Stats). Both acbench -json (the offline
+// experiment pipeline) and the acfcd daemon's /metrics endpoint consume
+// the same Snapshot type, and the plaintext metrics exposition is derived
+// mechanically from the structs' json tags — so the two outputs name the
+// same counter the same way and cannot drift apart.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Snapshot is one observation of the kernel counters. For a DES run the
+// Sim block carries the engine's event/handoff statistics; for the live
+// (real-clock) kernel behind acfcd there is no DES engine and Sim stays
+// zero.
+type Snapshot struct {
+	Cache cache.Stats `json:"cache"`
+	Sim   sim.Stats   `json:"sim"`
+}
+
+// Accumulate folds o into s: counters add, high-water marks take the max.
+func (s *Snapshot) Accumulate(o Snapshot) {
+	s.Cache.Accumulate(o.Cache)
+	s.Sim.Accumulate(o.Sim)
+}
+
+// WriteMetrics renders the snapshot as Prometheus-style plaintext lines,
+//
+//	<prefix>_cache_hits 123
+//	<prefix>_sim_handoffs 456
+//
+// one per counter, named by the structs' json tags. Reflection keeps this
+// exposition and the JSON schema a single source of truth.
+func (s Snapshot) WriteMetrics(w io.Writer, prefix string) {
+	writeGroup(w, prefix+"_cache_", reflect.ValueOf(s.Cache))
+	writeGroup(w, prefix+"_sim_", reflect.ValueOf(s.Sim))
+}
+
+// writeGroup emits one line per field of a flat all-integer struct.
+func writeGroup(w io.Writer, prefix string, v reflect.Value) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name == "" || name == "-" {
+			name = strings.ToLower(t.Field(i).Name)
+		}
+		fmt.Fprintf(w, "%s%s %d\n", prefix, name, v.Field(i).Int())
+	}
+}

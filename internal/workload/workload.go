@@ -46,6 +46,19 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// ParseMode is the inverse of Mode.String, for command-line flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "oblivious":
+		return Oblivious, nil
+	case "smart":
+		return Smart, nil
+	case "foolish":
+		return Foolish, nil
+	}
+	return 0, fmt.Errorf("workload: unknown mode %q (want oblivious, smart or foolish)", s)
+}
+
 // App is one benchmark application.
 type App interface {
 	// Name identifies the app ("cs1", "din", ...); it prefixes the
