@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server serve loadtest experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards serve loadtest experiments charts fuzz clean outputs
 
 all: check
 
 # The default gate: static checks, the test suite, then the race
 # detector over the packages with real cross-goroutine traffic (the
-# parallel scheduler, the simulations it drives, and the cache server).
+# parallel scheduler, the simulations it drives, and the cache server —
+# including the multi-shard soak: 16 sessions plus hangup saboteurs
+# across 4 kernel shards, invariant-checked per shard on every close).
 check: vet test race-hot
 
 race-hot:
@@ -47,10 +49,16 @@ serve:
 loadtest:
 	$(GO) run ./cmd/acload -addr unix:/tmp/acfcd.sock -app cs1 -clients 4
 
-# Server throughput/latency baseline: in-process server, 1/4/16-client
-# sweep, machine-readable (BENCH trajectory).
+# Server throughput/latency baseline: in-process servers at the default
+# shard counts (1 and 4), each swept over 1/4/16 clients,
+# machine-readable (BENCH trajectory).
 bench-server:
 	$(GO) run ./cmd/acload -selfserve -json > BENCH_server.json
+
+# The wider shard-scaling sweep: fresh in-process servers at 1, 4 and 16
+# kernel shards, each swept over 1/4/16 clients.
+bench-server-shards:
+	$(GO) run ./cmd/acload -selfserve -json -shards 1,4,16 > BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

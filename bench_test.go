@@ -223,7 +223,7 @@ func BenchmarkAblation(b *testing.B) {
 			res = expt.Run(expt.RunSpec{
 				Apps:    []expt.AppSpec{{Make: expt.Registry["din"], Mode: workload.Smart}},
 				CacheMB: 6.4, Alloc: cache.LRUSP,
-				ReadAheadOff: true,
+				Opts: expt.Options{ReadAheadOff: true},
 			})
 		}
 		b.ReportMetric(res.TotalElapsed.Seconds(), "din_seconds")

@@ -106,7 +106,7 @@ func run() int {
 	noFastPath := flag.Bool("nofastpath", false, "disable the DES engine's lookahead fast path (output must be byte-identical; for verification and A/B timing)")
 	flag.Parse()
 
-	expt.SetDefaultNoFastPath(*noFastPath)
+	baseOpts := expt.Options{NoFastPath: *noFastPath}
 
 	if isSet("parallel") && *parallelFlag < 1 {
 		fmt.Fprintf(os.Stderr, "acbench: -parallel must be >= 1 (got %d)\n", *parallelFlag)
@@ -153,7 +153,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "acbench: -charts cannot be combined with -json")
 			return 2
 		}
-		runner := expt.NewRunner(*parallelFlag)
+		runner := expt.NewRunner(*parallelFlag, baseOpts)
 		for _, c := range expt.Charts(runner, sizes) {
 			c.Render(os.Stdout)
 		}
@@ -171,7 +171,7 @@ func run() int {
 	}
 
 	if !*jsonFlag {
-		runSuite(expt.NewRunner(*parallelFlag), ids, sizes, os.Stdout)
+		runSuite(expt.NewRunner(*parallelFlag, baseOpts), ids, sizes, os.Stdout)
 		return 0
 	}
 
@@ -189,7 +189,7 @@ func run() int {
 	}
 	report := jsonReport{Run: *runFlag}
 	for _, lvl := range levels {
-		report.Runs = append(report.Runs, runSuite(expt.NewRunner(lvl), ids, sizes, io.Discard))
+		report.Runs = append(report.Runs, runSuite(expt.NewRunner(lvl, baseOpts), ids, sizes, io.Discard))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

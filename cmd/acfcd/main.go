@@ -1,13 +1,16 @@
-// Command acfcd is the application-controlled file cache daemon: one
+// Command acfcd is the application-controlled file cache daemon: the
 // Live kernel — buffer cache, ACM, file namespace, block store — served
-// to client processes over a unix or TCP socket. Each connection is one
-// owner/manager session; disconnecting releases the owner's blocks.
+// to client processes over a unix or TCP socket, split into -shards
+// independent replacement domains (files hash to shards at open time).
+// Each connection is one owner/manager session; disconnecting releases
+// the owner's blocks.
 //
 // Usage:
 //
 //	acfcd -listen unix:/tmp/acfcd.sock [-metrics 127.0.0.1:9090]
 //	      [-cache-mb 6.4] [-alloc lru-sp] [-store mem|/path/to/file]
-//	      [-idle 2m] [-inflight 32] [-evict-on-close] [-check-invariants]
+//	      [-shards 1] [-idle 2m] [-inflight 32] [-evict-on-close]
+//	      [-check-invariants]
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
 // are refused, and the kernel flushes dirty blocks before exit.
@@ -52,6 +55,7 @@ func run() int {
 	inflightFlag := flag.Int("inflight", 32, "max pipelined requests per session")
 	evictFlag := flag.Bool("evict-on-close", false, "evict (write back) a closing session's blocks instead of disowning them")
 	invFlag := flag.Bool("check-invariants", false, "run kernel invariant checks after every session close")
+	shardsFlag := flag.Int("shards", 1, "independent kernel shards (files hash to shards at open)")
 	graceFlag := flag.Duration("grace", 10*time.Second, "shutdown drain grace before forcing disconnects")
 	flag.Parse()
 
@@ -78,6 +82,7 @@ func run() int {
 			EvictOnRelease: *evictFlag,
 			WallClock:      true,
 		},
+		Shards:          *shardsFlag,
 		MaxInflight:     *inflightFlag,
 		IdleTimeout:     *idleFlag,
 		CheckInvariants: *invFlag,
@@ -88,8 +93,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, store %s)\n",
-		ln.Addr(), *allocFlag, *cacheFlag, *storeFlag)
+	fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, %d shard(s), store %s)\n",
+		ln.Addr(), *allocFlag, *cacheFlag, srv.Shards(), *storeFlag)
 
 	if *metricsFlag != "" {
 		mln, err := net.Listen("tcp", *metricsFlag)
@@ -120,7 +125,7 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *graceFlag)
 	defer cancel()
 	srv.Shutdown(ctx)
-	if err := srv.Kernel().Close(); err != nil {
+	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "acfcd: close: %v\n", err)
 		return 1
 	}

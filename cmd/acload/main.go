@@ -9,21 +9,34 @@
 // that transcript through their own session and their own copy of the
 // files (names are prefixed per client).
 //
+// A refusal mid-pipeline does not kill a replayer: the event is counted
+// refused exactly once, the session reconnects (re-opening its files and
+// re-enabling control) and retries the event once. A retry that is
+// refused again means the server is draining for real; the replayer
+// stops without recounting, so refusal totals count refused events, not
+// refused wire frames.
+//
 // Usage:
 //
 //	acload -addr unix:/tmp/acfcd.sock -app cs1 -mode smart -clients 4
 //	acload -selfserve -app cs1 -clients 16          # in-process server
-//	acload -selfserve -json > BENCH_server.json     # 1/4/16-client sweep
+//	acload -selfserve -json > BENCH_server.json     # shards x clients sweep
+//
+// With -selfserve, -shards gives the kernel shard counts to measure; in
+// -json mode it is a comma-separated sweep (default 1,4) and each shard
+// count gets a fresh in-process server swept over 1/4/16 clients.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,15 +76,24 @@ type sweepResult struct {
 	P99us      float64 `json:"p99_us"`
 }
 
+// shardSweep is the client sweep at one kernel shard count, with that
+// server's end-of-sweep kernel counters (aggregated, plus the per-shard
+// breakdown when shards > 1).
+type shardSweep struct {
+	Shards   int              `json:"shards"`
+	Sweeps   []sweepResult    `json:"sweeps"`
+	Kernel   stats.Snapshot   `json:"kernel"`
+	PerShard []stats.Snapshot `json:"per_shard,omitempty"`
+}
+
 // jsonReport is the -json output document (BENCH_server.json).
 type jsonReport struct {
-	App     string         `json:"app"`
-	Mode    string         `json:"mode"`
-	Alloc   string         `json:"alloc"`
-	CacheMB float64        `json:"cache_mb"`
-	Events  int            `json:"events_per_client"`
-	Sweeps  []sweepResult  `json:"sweeps"`
-	Kernel  stats.Snapshot `json:"kernel"`
+	App         string       `json:"app"`
+	Mode        string       `json:"mode"`
+	Alloc       string       `json:"alloc"`
+	CacheMB     float64      `json:"cache_mb"`
+	Events      int          `json:"events_per_client"`
+	ShardSweeps []shardSweep `json:"shard_sweeps"`
 }
 
 func run() int {
@@ -81,9 +103,10 @@ func run() int {
 	clientsFlag := flag.Int("clients", 4, "concurrent client sessions")
 	cacheFlag := flag.Float64("cache-mb", 6.4, "cache size (capture spec; and the self-served server)")
 	allocFlag := flag.String("alloc", "lru-sp", "allocation policy (capture spec; and the self-served server)")
+	shardsFlag := flag.String("shards", "", "kernel shard counts for -selfserve (comma-separated; default 1, or 1,4 with -json)")
 	nodataFlag := flag.Bool("nodata", false, "suppress block bytes in read responses")
 	selfFlag := flag.Bool("selfserve", false, "start an in-process server instead of dialing -addr")
-	jsonFlag := flag.Bool("json", false, "sweep 1/4/16 clients and emit JSON (implies quiet tables)")
+	jsonFlag := flag.Bool("json", false, "sweep 1/4/16 clients per shard count and emit JSON (implies quiet tables)")
 	flag.Parse()
 
 	mk, ok := expt.Registry[*appFlag]
@@ -101,70 +124,108 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "acload: unknown alloc %q\n", *allocFlag)
 		return 2
 	}
-
-	fmt.Fprintf(os.Stderr, "acload: recording %s (%s) in simulation...\n", *appFlag, mode)
-	rec := expt.Record(expt.RunSpec{
-		Apps:         []expt.AppSpec{{Name: *appFlag, Make: mk, Mode: mode}},
-		CacheMB:      *cacheFlag,
-		Alloc:        alloc,
-		ReadAheadOff: true, // read-ahead I/O is untraced, so the transcript must not depend on it
-	})
-	fmt.Fprintf(os.Stderr, "acload: %d events per client\n", len(rec.Events))
-
-	network, addr := "", ""
-	var srv *server.Server
-	if *selfFlag {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if *shardsFlag != "" && !*selfFlag {
+		fmt.Fprintln(os.Stderr, "acload: -shards requires -selfserve (an external server owns its shard count)")
+		return 2
+	}
+	shardCounts := []int{1}
+	if *jsonFlag && *selfFlag {
+		shardCounts = []int{1, 4}
+	}
+	if *shardsFlag != "" {
+		shardCounts, err = parseShards(*shardsFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acload: %v\n", err)
-			return 1
-		}
-		srv = server.New(server.Config{Kernel: core.LiveConfig{
-			CacheBytes: core.MB(*cacheFlag),
-			Alloc:      rec.Spec.Alloc,
-			WallClock:  true,
-		}})
-		go srv.Serve(ln)
-		network, addr = "tcp", ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "acload: self-serving on %s\n", addr)
-	} else {
-		var ok bool
-		network, addr, ok = strings.Cut(*addrFlag, ":")
-		if !ok || (network != "unix" && network != "tcp") {
-			fmt.Fprintf(os.Stderr, "acload: bad -addr %q\n", *addrFlag)
 			return 2
 		}
 	}
 
-	sweeps := []int{*clientsFlag}
+	fmt.Fprintf(os.Stderr, "acload: recording %s (%s) in simulation...\n", *appFlag, mode)
+	rec := expt.Record(expt.RunSpec{
+		Apps:    []expt.AppSpec{{Name: *appFlag, Make: mk, Mode: mode}},
+		CacheMB: *cacheFlag,
+		Alloc:   alloc,
+		// Read-ahead I/O is untraced, so the transcript must not depend on it.
+		Opts: expt.Options{ReadAheadOff: true},
+	})
+	fmt.Fprintf(os.Stderr, "acload: %d events per client\n", len(rec.Events))
+
+	clientSweeps := []int{*clientsFlag}
 	if *jsonFlag {
-		sweeps = []int{1, 4, 16}
+		clientSweeps = []int{1, 4, 16}
 	}
 	report := jsonReport{App: *appFlag, Mode: mode.String(), Alloc: alloc.String(), CacheMB: *cacheFlag, Events: len(rec.Events)}
-	for si, n := range sweeps {
-		res, err := runSweep(network, addr, fmt.Sprintf("s%d", si), n, rec.Events, *nodataFlag)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "acload: %v\n", err)
-			return 1
-		}
-		report.Sweeps = append(report.Sweeps, res)
-		fmt.Fprintf(os.Stderr,
-			"acload: %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs, refused %d, errors %d\n",
-			n, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio, res.P50us, res.P90us, res.P99us, res.Refused, res.Errors)
-	}
 
-	if srv != nil {
-		if m, ok := srv.Metrics(); ok {
-			report.Kernel = m.Kernel
+	for hi, nsh := range shardCounts {
+		network, addr := "", ""
+		var srv *server.Server
+		if *selfFlag {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+				return 1
+			}
+			srv = server.New(server.Config{
+				Kernel: core.LiveConfig{
+					CacheBytes: core.MB(*cacheFlag),
+					Alloc:      rec.Spec.Alloc,
+					WallClock:  true,
+				},
+				Shards: nsh,
+			})
+			go srv.Serve(ln)
+			network, addr = "tcp", ln.Addr().String()
+			fmt.Fprintf(os.Stderr, "acload: self-serving on %s (%d shard(s))\n", addr, nsh)
+		} else {
+			var ok bool
+			network, addr, ok = strings.Cut(*addrFlag, ":")
+			if !ok || (network != "unix" && network != "tcp") {
+				fmt.Fprintf(os.Stderr, "acload: bad -addr %q\n", *addrFlag)
+				return 2
+			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		srv.Shutdown(ctx)
-		cancel()
-	} else if c, err := client.Dial(network, addr); err == nil {
-		if sr, err := c.Stats(); err == nil {
-			report.Kernel = sr.Kernel
+
+		label := fmt.Sprintf("%d shard(s)", nsh)
+		if srv == nil {
+			label = "server" // an external daemon owns its shard count
 		}
-		c.Close()
+		ss := shardSweep{Shards: nsh}
+		for si, n := range clientSweeps {
+			res, err := runSweep(network, addr, fmt.Sprintf("h%ds%d", hi, si), n, rec.Events, *nodataFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acload: %v\n", err)
+				return 1
+			}
+			ss.Sweeps = append(ss.Sweeps, res)
+			fmt.Fprintf(os.Stderr,
+				"acload: %s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs, refused %d, errors %d\n",
+				label, n, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio, res.P50us, res.P90us, res.P99us, res.Refused, res.Errors)
+		}
+
+		if srv != nil {
+			if m, ok := srv.Metrics(); ok {
+				ss.Kernel = m.Kernel
+				if len(m.Shards) > 1 {
+					for _, sm := range m.Shards {
+						ss.PerShard = append(ss.PerShard, sm.Kernel)
+					}
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Shutdown(ctx)
+			cancel()
+			srv.Close()
+		} else if c, err := client.Dial(network, addr); err == nil {
+			if sr, err := c.Stats(); err == nil {
+				ss.Kernel = sr.Kernel
+				ss.PerShard = sr.PerShard
+				if len(sr.PerShard) > 0 {
+					ss.Shards = len(sr.PerShard)
+				}
+			}
+			c.Close()
+		}
+		report.ShardSweeps = append(report.ShardSweeps, ss)
 	}
 
 	if *jsonFlag {
@@ -178,6 +239,18 @@ func run() int {
 	return 0
 }
 
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // runSweep replays the transcript through n concurrent sessions, each
 // against its own file namespace (tag distinguishes sweeps sharing one
 // server), and aggregates the measurements.
@@ -185,6 +258,13 @@ func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodat
 	type clientOut struct {
 		st  replayStats
 		err error
+	}
+	dial := func() (replayConn, error) {
+		c, err := client.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
 	outs := make([]clientOut, n)
 	var wg sync.WaitGroup
@@ -194,7 +274,7 @@ func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodat
 		go func(i int) {
 			defer wg.Done()
 			prefix := fmt.Sprintf("%sc%d/", tag, i)
-			outs[i].st, outs[i].err = replayOne(network, addr, prefix, events, nodata)
+			outs[i].st, outs[i].err = replayOne(dial, prefix, events, nodata)
 		}(i)
 	}
 	wg.Wait()
@@ -245,93 +325,193 @@ type replayStats struct {
 	latencies []time.Duration
 }
 
+// replayConn is the slice of the client API a replayer drives; a stub
+// implementation backs the refused-accounting tests.
+type replayConn interface {
+	Open(name string) (client.File, error)
+	Create(name string, d, sizeBlocks int) (client.File, error)
+	Remove(name string) error
+	Control(enable bool) error
+	Fbehavior(op client.FbOp, a client.FbArgs) (client.FbResult, error)
+	Read(f fs.FileID, blk int32, off, size int) ([]byte, bool, error)
+	ReadNoData(f fs.FileID, blk int32, off, size int) (bool, error)
+	Write(f fs.FileID, blk int32, off int, payload []byte) (bool, error)
+	Close() error
+}
+
+// replayer replays one transcript through one session, reconnecting and
+// retrying once when the server refuses an event mid-pipeline.
+type replayer struct {
+	dial   func() (replayConn, error)
+	prefix string
+	nodata bool
+
+	c          replayConn
+	files      map[fs.FileID]fs.FileID // recorded id -> server id
+	names      map[fs.FileID]string    // recorded id -> server name, for re-open
+	controlled bool
+	st         replayStats
+}
+
+// errReplayDrained marks a replayer that stopped cleanly because the
+// server kept refusing (shutdown drain): what it measured stands, the
+// remaining events are simply not issued.
+var errReplayDrained = errors.New("acload: server draining; replay stopped")
+
 // replayOne replays the whole transcript through one fresh session.
 // Recorded file ids map to server files created under prefix; fbehavior
 // and access events reproduce the workload call for call.
-func replayOne(network, addr, prefix string, events []expt.ReplayEvent, nodata bool) (replayStats, error) {
-	var st replayStats
-	c, err := client.Dial(network, addr)
-	if err != nil {
-		return st, err
+func replayOne(dial func() (replayConn, error), prefix string, events []expt.ReplayEvent, nodata bool) (replayStats, error) {
+	r := &replayer{
+		dial:   dial,
+		prefix: prefix,
+		nodata: nodata,
+		files:  make(map[fs.FileID]fs.FileID),
+		names:  make(map[fs.FileID]string),
 	}
-	defer c.Close()
+	c, err := dial()
+	if err != nil {
+		return r.st, err
+	}
+	r.c = c
+	defer func() { r.c.Close() }()
 
-	files := make(map[fs.FileID]fs.FileID) // recorded id -> server id
 	payload := make([]byte, core.BlockSize)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	st.latencies = make([]time.Duration, 0, len(events))
+	r.st.latencies = make([]time.Duration, 0, len(events))
 
-	fail := func(err error) error {
-		if client.IsRefused(err) {
-			st.refused++
-			return nil
+	for _, ev := range events {
+		if err := r.step(ev, payload); err != nil {
+			if errors.Is(err, errReplayDrained) {
+				return r.st, nil
+			}
+			return r.st, err
 		}
-		st.errors++
+	}
+	return r.st, nil
+}
+
+// step issues one event, counting it as exactly one request. A refusal
+// counts refused once, reconnects and retries the same event once; the
+// retry never recounts the event, whatever its outcome.
+func (r *replayer) step(ev expt.ReplayEvent, payload []byte) error {
+	r.st.requests++
+	hit, isAccess, err := r.apply(ev, payload)
+	if err == nil {
+		if isAccess {
+			if hit {
+				r.st.hits++
+			} else {
+				r.st.misses++
+			}
+		}
+		return nil
+	}
+	if !errors.Is(err, client.ErrRefused) && !errors.Is(err, client.ErrRevoked) {
+		r.st.errors++
 		return err
 	}
-	for _, ev := range events {
-		if ev.IsCtl {
-			st.requests++
-			ct := ev.Ctl
-			switch ct.Op {
-			case core.CtlCreateFile:
-				f, err := c.Create(prefix+ct.FileName, ct.Disk, ct.Size)
-				if err != nil {
-					if e := fail(err); e != nil {
-						return st, e
-					}
-					continue
-				}
-				files[ct.File] = f.ID
-			case core.CtlRemoveFile:
-				err = c.Remove(prefix + ct.FileName)
-				delete(files, ct.File)
-			case core.CtlControl:
-				err = c.Control(ct.Enable)
-			case core.CtlSetPriority:
-				err = c.SetPriority(files[ct.File], ct.Prio)
-			case core.CtlSetPolicy:
-				err = c.SetPolicy(ct.Prio, ct.Policy)
-			case core.CtlSetTempPri:
-				err = c.SetTempPri(files[ct.File], ct.Start, ct.End, ct.Prio)
-			}
-			if err != nil {
-				if e := fail(err); e != nil {
-					return st, e
-				}
-			}
-			continue
+	r.st.refused++
+	if rerr := r.reconnect(); rerr != nil {
+		// Nothing to reconnect to: the server is gone. The refusal stays
+		// counted once and the replay ends cleanly.
+		return errReplayDrained
+	}
+	hit, isAccess, err = r.apply(ev, payload)
+	if err != nil {
+		if errors.Is(err, client.ErrRefused) || errors.Is(err, client.ErrRevoked) {
+			return errReplayDrained
 		}
-
-		a := ev.Access
-		fid, ok := files[a.File]
-		if !ok {
-			return st, fmt.Errorf("access to file %d before its create event", a.File)
-		}
-		st.requests++
-		t0 := time.Now()
-		var hit bool
-		if a.Write {
-			hit, err = c.Write(fid, a.Block, a.Off, payload[:a.Size])
-		} else if nodata {
-			hit, err = c.ReadNoData(fid, a.Block, a.Off, a.Size)
-		} else {
-			_, hit, err = c.Read(fid, a.Block, a.Off, a.Size)
-		}
-		st.latencies = append(st.latencies, time.Since(t0))
-		if err != nil {
-			if e := fail(err); e != nil {
-				return st, e
-			}
-			continue
-		}
+		r.st.errors++
+		return err
+	}
+	if isAccess {
 		if hit {
-			st.hits++
+			r.st.hits++
 		} else {
-			st.misses++
+			r.st.misses++
 		}
 	}
-	return st, nil
+	return nil
+}
+
+// reconnect dials a fresh session and rebuilds the replayer's server
+// state: control re-enabled if it was on, every live file re-opened so
+// the recorded ids resolve again. (Priorities are per-owner manager
+// state; the replay reissues them only as the transcript reaches them,
+// like the restarted real application would.)
+func (r *replayer) reconnect() error {
+	r.c.Close()
+	c, err := r.dial()
+	if err != nil {
+		return err
+	}
+	r.c = c
+	if r.controlled {
+		if err := c.Control(true); err != nil {
+			return err
+		}
+	}
+	for rid, name := range r.names {
+		f, err := c.Open(name)
+		if err != nil {
+			return err
+		}
+		r.files[rid] = f.ID
+	}
+	return nil
+}
+
+// apply issues one event on the current session and updates the file
+// maps on success. For access events it also records the wire latency.
+func (r *replayer) apply(ev expt.ReplayEvent, payload []byte) (hit, isAccess bool, err error) {
+	if ev.IsCtl {
+		ct := ev.Ctl
+		switch ct.Op {
+		case core.CtlCreateFile:
+			name := r.prefix + ct.FileName
+			var f client.File
+			f, err = r.c.Create(name, ct.Disk, ct.Size)
+			if err == nil {
+				r.files[ct.File] = f.ID
+				r.names[ct.File] = name
+			}
+		case core.CtlRemoveFile:
+			err = r.c.Remove(r.prefix + ct.FileName)
+			if err == nil {
+				delete(r.files, ct.File)
+				delete(r.names, ct.File)
+			}
+		case core.CtlControl:
+			err = r.c.Control(ct.Enable)
+			if err == nil {
+				r.controlled = ct.Enable
+			}
+		case core.CtlSetPriority:
+			_, err = r.c.Fbehavior(client.FbSetPriority, client.FbArgs{File: r.files[ct.File], Prio: ct.Prio})
+		case core.CtlSetPolicy:
+			_, err = r.c.Fbehavior(client.FbSetPolicy, client.FbArgs{Prio: ct.Prio, Policy: ct.Policy})
+		case core.CtlSetTempPri:
+			_, err = r.c.Fbehavior(client.FbSetTempPri, client.FbArgs{File: r.files[ct.File], Start: ct.Start, End: ct.End, Prio: ct.Prio})
+		}
+		return false, false, err
+	}
+
+	a := ev.Access
+	fid, ok := r.files[a.File]
+	if !ok {
+		return false, false, fmt.Errorf("access to file %d before its create event", a.File)
+	}
+	t0 := time.Now()
+	if a.Write {
+		hit, err = r.c.Write(fid, a.Block, a.Off, payload[:a.Size])
+	} else if r.nodata {
+		hit, err = r.c.ReadNoData(fid, a.Block, a.Off, a.Size)
+	} else {
+		_, hit, err = r.c.Read(fid, a.Block, a.Off, a.Size)
+	}
+	r.st.latencies = append(r.st.latencies, time.Since(t0))
+	return hit, true, err
 }

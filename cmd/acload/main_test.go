@@ -1,0 +1,220 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/fs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// stubSrv is the shared server state behind every stubConn a replayer
+// dials: the file namespace survives reconnects (exactly like acfcd's),
+// and refuseReads scripts how many read/write accesses to refuse with
+// StatusRefused before recovering.
+type stubSrv struct {
+	dials       int
+	nextID      fs.FileID
+	files       map[string]fs.FileID
+	refuseReads int
+	log         []string // per-connection ops, for asserting the reconnect dance
+}
+
+func newStubSrv() *stubSrv {
+	return &stubSrv{files: make(map[string]fs.FileID)}
+}
+
+type stubConn struct{ s *stubSrv }
+
+func (s *stubSrv) dial() (replayConn, error) {
+	s.dials++
+	s.log = append(s.log, "dial")
+	return &stubConn{s: s}, nil
+}
+
+func refusedErr() error {
+	return &client.StatusError{Status: server.StatusRefused, Msg: "server shutting down"}
+}
+
+func (c *stubConn) Open(name string) (client.File, error) {
+	c.s.log = append(c.s.log, "open "+name)
+	id, ok := c.s.files[name]
+	if !ok {
+		return client.File{}, &client.StatusError{Status: server.StatusNotFound, Msg: name}
+	}
+	return client.File{ID: id, Size: 4}, nil
+}
+
+func (c *stubConn) Create(name string, d, sizeBlocks int) (client.File, error) {
+	c.s.log = append(c.s.log, "create "+name)
+	c.s.nextID++
+	c.s.files[name] = c.s.nextID
+	return client.File{ID: c.s.nextID, Size: sizeBlocks}, nil
+}
+
+func (c *stubConn) Remove(name string) error {
+	delete(c.s.files, name)
+	return nil
+}
+
+func (c *stubConn) Control(enable bool) error {
+	c.s.log = append(c.s.log, fmt.Sprintf("control %v", enable))
+	return nil
+}
+
+func (c *stubConn) Fbehavior(op client.FbOp, a client.FbArgs) (client.FbResult, error) {
+	c.s.log = append(c.s.log, fmt.Sprintf("fbehavior %d", op))
+	return client.FbResult{}, nil
+}
+
+func (c *stubConn) access() error {
+	if c.s.refuseReads > 0 {
+		c.s.refuseReads--
+		c.s.log = append(c.s.log, "refuse")
+		return refusedErr()
+	}
+	c.s.log = append(c.s.log, "access")
+	return nil
+}
+
+func (c *stubConn) Read(f fs.FileID, blk int32, off, size int) ([]byte, bool, error) {
+	if err := c.access(); err != nil {
+		return nil, false, err
+	}
+	return make([]byte, size), true, nil
+}
+
+func (c *stubConn) ReadNoData(f fs.FileID, blk int32, off, size int) (bool, error) {
+	if err := c.access(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (c *stubConn) Write(f fs.FileID, blk int32, off int, payload []byte) (bool, error) {
+	if err := c.access(); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+func (c *stubConn) Close() error { return nil }
+
+// transcript builds a minimal replayable event list: create a file,
+// enable control, then n reads of it.
+func transcript(reads int) []expt.ReplayEvent {
+	evs := []expt.ReplayEvent{
+		{IsCtl: true, Ctl: core.CtlEvent{Op: core.CtlCreateFile, File: 7, FileName: "f", Disk: 0, Size: 4}},
+		{IsCtl: true, Ctl: core.CtlEvent{Op: core.CtlControl, Enable: true}},
+	}
+	for i := 0; i < reads; i++ {
+		evs = append(evs, expt.ReplayEvent{Access: core.TraceEvent{File: 7, Block: int32(i % 4), Off: 0, Size: 8}})
+	}
+	return evs
+}
+
+// TestReplayRefusedRetriesOnce: a single mid-pipeline refusal counts one
+// refused event, the replayer reconnects (re-enabling control and
+// re-opening its files), retries that event once, and finishes the
+// transcript with no double count anywhere.
+func TestReplayRefusedRetriesOnce(t *testing.T) {
+	s := newStubSrv()
+	s.refuseReads = 1
+	evs := transcript(3)
+	st, err := replayOne(s.dial, "p/", evs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.requests != int64(len(evs)) {
+		t.Errorf("requests = %d, want %d (one per event, retries excluded)", st.requests, len(evs))
+	}
+	if st.refused != 1 {
+		t.Errorf("refused = %d, want 1", st.refused)
+	}
+	if st.errors != 0 {
+		t.Errorf("errors = %d, want 0", st.errors)
+	}
+	if st.hits+st.misses != 3 {
+		t.Errorf("hits+misses = %d, want 3 (the refused access succeeded on retry)", st.hits+st.misses)
+	}
+	if s.dials != 2 {
+		t.Errorf("dials = %d, want 2 (initial + reconnect)", s.dials)
+	}
+	// The reconnect must rebuild session state before the retry: a fresh
+	// dial, control re-enabled, the created file re-opened.
+	want := []string{"dial", "control true", "open p/f"}
+	idx := indexOf(s.log, "refuse")
+	if idx < 0 || len(s.log) < idx+1+len(want) {
+		t.Fatalf("log too short after refusal: %v", s.log)
+	}
+	for i, w := range want {
+		if got := s.log[idx+1+i]; got != w {
+			t.Errorf("reconnect step %d: got %q, want %q (log %v)", i, got, w, s.log)
+		}
+	}
+}
+
+// TestReplayRefusedNeverRecounts: when the server keeps refusing (a real
+// drain), the event is still counted refused exactly once — the retry
+// stops the replay instead of inflating the counter, and the replayer
+// exits cleanly with what it measured.
+func TestReplayRefusedNeverRecounts(t *testing.T) {
+	s := newStubSrv()
+	s.refuseReads = 1000 // refuse every access, before and after reconnect
+	evs := transcript(5)
+	st, err := replayOne(s.dial, "p/", evs, false)
+	if err != nil {
+		t.Fatalf("a drained server must end the replay cleanly, got %v", err)
+	}
+	if st.refused != 1 {
+		t.Errorf("refused = %d, want exactly 1 (no recount on retry)", st.refused)
+	}
+	// create + control + the one refused access; the drained replayer
+	// must not keep issuing (and counting) the rest of the transcript.
+	if st.requests != 3 {
+		t.Errorf("requests = %d, want 3", st.requests)
+	}
+	if st.errors != 0 {
+		t.Errorf("errors = %d, want 0", st.errors)
+	}
+	if s.dials != 2 {
+		t.Errorf("dials = %d, want 2 (one reconnect attempt, then stop)", s.dials)
+	}
+}
+
+// TestReplayHardErrorAborts: a non-refusal failure is a real error — it
+// counts once and kills the replay with the error propagated.
+func TestReplayHardErrorAborts(t *testing.T) {
+	s := newStubSrv()
+	evs := []expt.ReplayEvent{
+		{IsCtl: true, Ctl: core.CtlEvent{Op: core.CtlCreateFile, File: 7, FileName: "f", Disk: 0, Size: 4}},
+		// Access to a file id the transcript never created.
+		{Access: core.TraceEvent{File: 9, Block: 0, Size: 8}},
+	}
+	st, err := replayOne(s.dial, "p/", evs, false)
+	if err == nil {
+		t.Fatal("want an error for an access before its create event")
+	}
+	if errors.Is(err, errReplayDrained) {
+		t.Fatalf("hard error misclassified as drain: %v", err)
+	}
+	if st.errors != 1 || st.refused != 0 {
+		t.Errorf("errors = %d, refused = %d; want 1, 0", st.errors, st.refused)
+	}
+	if s.dials != 1 {
+		t.Errorf("dials = %d, want 1 (no reconnect on hard errors)", s.dials)
+	}
+}
+
+func indexOf(log []string, s string) int {
+	for i, l := range log {
+		if l == s {
+			return i
+		}
+	}
+	return -1
+}

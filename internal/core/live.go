@@ -112,6 +112,60 @@ func (c LiveConfig) cacheBlocks() int {
 	return n
 }
 
+// ShardConfig returns the configuration for shard i of an n-way sharded
+// kernel: the total block budget is partitioned evenly across the shards
+// (the remainder going to the low-numbered ones, so any two shards differ
+// by at most one block) and everything else is copied unchanged. Each
+// shard is a complete, independent Live — its own cache arena, ACM, and
+// fill accounting — which is what makes sharding safe: LRU-SP runs
+// whole within each shard's replacement domain. ShardConfig(0, 1) is the
+// identity, so a 1-shard kernel is bit-for-bit the unsharded one.
+func (c LiveConfig) ShardConfig(i, n int) LiveConfig {
+	if n <= 1 {
+		return c
+	}
+	total := c.cacheBlocks()
+	mine := total / n
+	if i < total%n {
+		mine++
+	}
+	if mine <= 0 {
+		mine = 1 // cacheBlocks clamps the same way for a tiny budget
+	}
+	c.CacheBytes = int64(mine) * BlockSize
+	return c
+}
+
+// CacheBlocks reports the kernel's block capacity.
+func (l *Live) CacheBlocks() int { return l.cfg.cacheBlocks() }
+
+// CheckShardInvariants audits a sharded kernel set built from total via
+// ShardConfig: every shard's own cross-structure invariants hold, and the
+// shard capacities tile the total block budget — an even partition (±1
+// block) whose sum is the unsharded capacity, except when the budget is
+// smaller than the shard count and every shard is clamped to one block.
+func CheckShardInvariants(kerns []*Live, total LiveConfig) {
+	want := total.cacheBlocks()
+	sum, min, max := 0, math.MaxInt, 0
+	for _, k := range kerns {
+		k.CheckInvariants()
+		n := k.CacheBlocks()
+		sum += n
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		panic(fmt.Sprintf("core: unbalanced shard capacities: min %d max %d", min, max))
+	}
+	if want >= len(kerns) && sum != want {
+		panic(fmt.Sprintf("core: shard capacities sum to %d, want %d", sum, want))
+	}
+}
+
 // liveOwner is one registered owner (a client session, in the daemon).
 type liveOwner struct {
 	name  string

@@ -24,6 +24,37 @@ type AppSpec struct {
 	Mode workload.Mode
 }
 
+// Options are execution knobs — settings that change how a simulation
+// executes rather than what machine it models. They live apart from the
+// machine-shaping RunSpec fields so a whole suite can carry one Options
+// value on its Runner (acbench -nofastpath) while individual specs still
+// override per run (the read-ahead ablation). A Runner merges its base
+// Options into every submitted spec: booleans OR, a spec's nonzero
+// ReadAheadDepth wins. The merged value participates in the memo
+// fingerprint, so two option sets never conflate.
+type Options struct {
+	// ReadAheadOff disables sequential read-ahead (for ablations and
+	// replay capture, whose transcripts must not depend on untraced I/O);
+	// ReadAheadDepth overrides the depth when read-ahead is on (0 keeps
+	// the default).
+	ReadAheadOff   bool
+	ReadAheadDepth int
+	// NoFastPath disables the DES engine's lookahead fast path, forcing
+	// every sleep through the scheduler (for differential tests).
+	NoFastPath bool
+}
+
+// merge folds a Runner's base options into a spec's own: booleans OR,
+// the spec's explicit depth wins.
+func (o Options) merge(base Options) Options {
+	o.ReadAheadOff = o.ReadAheadOff || base.ReadAheadOff
+	if o.ReadAheadDepth == 0 {
+		o.ReadAheadDepth = base.ReadAheadDepth
+	}
+	o.NoFastPath = o.NoFastPath || base.NoFastPath
+	return o
+}
+
 // RunSpec describes one simulated machine execution.
 type RunSpec struct {
 	Apps    []AppSpec
@@ -32,11 +63,9 @@ type RunSpec struct {
 	Seed    uint64
 	// Revoke optionally enables the revocation extension.
 	Revoke cache.RevokeConfig
-	// ReadAheadOff disables sequential read-ahead (for ablations);
-	// ReadAheadDepth overrides the depth when read-ahead is on (0 keeps
-	// the default).
-	ReadAheadOff   bool
-	ReadAheadDepth int
+	// Opts are this run's execution knobs; a Runner merges its own base
+	// Options in at submission.
+	Opts Options
 	// SpreadSync smooths the update daemon (Mogul's better update
 	// policy) instead of Ultrix's 30-second bursts.
 	SpreadSync bool
@@ -45,9 +74,6 @@ type RunSpec struct {
 	UpcallCPU sim.Time
 	// FIFODisk replaces the C-LOOK elevator with arrival-order service.
 	FIFODisk bool
-	// NoFastPath disables the DES engine's lookahead fast path, forcing
-	// every sleep through the scheduler (for differential tests).
-	NoFastPath bool
 	// Trace, when non-nil, receives every block access.
 	Trace func(core.TraceEvent)
 	// TraceCtl, when non-nil, receives every successful control-plane
@@ -64,17 +90,6 @@ type AppResult struct {
 	BlockIOs int64
 	Stats    core.ProcStats
 }
-
-// noFastPathDefault, when set, disables the DES lookahead fast path for
-// every run regardless of RunSpec.NoFastPath. See SetDefaultNoFastPath.
-var noFastPathDefault bool
-
-// SetDefaultNoFastPath force-disables (or re-enables) the engine fast
-// path process-wide, for verifying that whole experiment suites are
-// byte-identical either way (acbench -nofastpath). Call it once, before
-// submitting any runs: the memo cache keys on the effective setting at
-// submission time, so toggling mid-suite would conflate entries.
-func SetDefaultNoFastPath(v bool) { noFastPathDefault = v }
 
 // RunResult is one machine execution's outcome.
 type RunResult struct {
@@ -156,11 +171,11 @@ func Run(spec RunSpec) RunResult {
 		cfg.Seed = spec.Seed
 	}
 	cfg.Revoke = spec.Revoke
-	if spec.ReadAheadOff {
+	if spec.Opts.ReadAheadOff {
 		cfg.ReadAhead = false
 	}
-	if spec.ReadAheadDepth > 0 {
-		cfg.ReadAheadDepth = spec.ReadAheadDepth
+	if spec.Opts.ReadAheadDepth > 0 {
+		cfg.ReadAheadDepth = spec.Opts.ReadAheadDepth
 	}
 	cfg.SpreadSync = spec.SpreadSync
 	cfg.UpcallCPU = spec.UpcallCPU
@@ -169,7 +184,7 @@ func Run(spec RunSpec) RunResult {
 	}
 	cfg.Trace = spec.Trace
 	cfg.TraceCtl = spec.TraceCtl
-	cfg.NoSimFastPath = spec.NoFastPath || noFastPathDefault
+	cfg.NoSimFastPath = spec.Opts.NoFastPath
 	sys := core.NewSystem(cfg)
 	procs := make([]*core.Proc, 0, len(spec.Apps))
 	apps := make([]workload.App, 0, len(spec.Apps))

@@ -42,7 +42,7 @@ func TestFastPathDifferential(t *testing.T) {
 			fastSpec := spec
 			fast := Run(fastSpec)
 			slowSpec := spec
-			slowSpec.NoFastPath = true
+			slowSpec.Opts.NoFastPath = true
 			slow := Run(slowSpec)
 
 			if fast.Sim.FastAdvances == 0 {
@@ -82,7 +82,7 @@ func TestFastPathDifferential(t *testing.T) {
 func TestFastPathFingerprintDistinct(t *testing.T) {
 	spec := RunSpec{Apps: mixSpec([]string{"cs1"}, workload.Smart), CacheMB: 6.4}
 	kOn, ok1 := fingerprint(spec)
-	spec.NoFastPath = true
+	spec.Opts.NoFastPath = true
 	kOff, ok2 := fingerprint(spec)
 	if !ok1 || !ok2 {
 		t.Fatal("specs unexpectedly uncacheable")

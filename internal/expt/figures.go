@@ -410,11 +410,10 @@ func Ablation(r *Runner) []Table {
 					mode, alloc = workload.Smart, cache.LRUSP
 				}
 				raFuts = append(raFuts, r.Submit(RunSpec{
-					Apps:           mixSpec([]string{app}, mode),
-					CacheMB:        6.4,
-					Alloc:          alloc,
-					ReadAheadOff:   depth == 0,
-					ReadAheadDepth: depth,
+					Apps:    mixSpec([]string{app}, mode),
+					CacheMB: 6.4,
+					Alloc:   alloc,
+					Opts:    Options{ReadAheadOff: depth == 0, ReadAheadDepth: depth},
 				}))
 			}
 		}

@@ -30,6 +30,7 @@ import (
 // spec inline, serially, with no cache — the legacy behavior.
 type Runner struct {
 	parallelism int
+	base        Options // merged into every submitted spec
 	sem         chan struct{}
 
 	mu     sync.Mutex
@@ -53,8 +54,10 @@ type RunnerStats struct {
 // NewRunner returns a scheduler running up to parallelism simulations
 // concurrently. Parallelism <= 0 selects GOMAXPROCS; 1 selects the legacy
 // serial path (specs run inline on the consuming goroutine, still
-// memoized).
-func NewRunner(parallelism int) *Runner {
+// memoized). An optional Options value applies to every spec submitted
+// to this Runner (merged per Options.merge, spec fields taking
+// precedence): the suite-wide knobs that used to be a package global.
+func NewRunner(parallelism int, opts ...Options) *Runner {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -62,10 +65,22 @@ func NewRunner(parallelism int) *Runner {
 		parallelism: parallelism,
 		cache:       make(map[string]*Future),
 	}
+	for _, o := range opts {
+		r.base = r.base.merge(o)
+	}
 	if parallelism > 1 {
 		r.sem = make(chan struct{}, parallelism)
 	}
 	return r
+}
+
+// Options reports the base Options this Runner merges into every
+// submitted spec.
+func (r *Runner) Options() Options {
+	if r == nil {
+		return Options{}
+	}
+	return r.base
 }
 
 // Parallelism reports the worker-pool width (1 for the serial path and
@@ -137,10 +152,12 @@ func (f *Future) Wait() RunResult {
 	return f.res
 }
 
-// Submit schedules spec for execution and returns its Future. Cacheable
-// specs already submitted to this Runner return the existing Future, so
-// the simulation runs at most once. On a nil Runner the spec executes
-// immediately, inline.
+// Submit schedules spec for execution and returns its Future. The
+// Runner's base Options merge into the spec first, so the memo key and
+// the execution both see the effective option set. Cacheable specs
+// already submitted to this Runner return the existing Future, so the
+// simulation runs at most once. On a nil Runner the spec executes
+// immediately, inline, with no base Options.
 func (r *Runner) Submit(spec RunSpec) *Future {
 	if r == nil {
 		f := &Future{spec: spec, done: make(chan struct{})}
@@ -148,6 +165,7 @@ func (r *Runner) Submit(spec RunSpec) *Future {
 		close(f.done)
 		return f
 	}
+	spec.Opts = spec.Opts.merge(r.base)
 	key, cacheable := fingerprint(spec)
 	r.mu.Lock()
 	if cacheable {
@@ -215,7 +233,7 @@ func fingerprint(spec RunSpec) (string, bool) {
 	fmt.Fprintf(&b, "|mb=%g|alloc=%d|seed=%d|rev=%t/%d/%g|raoff=%t|rad=%d|ss=%t|up=%d|fifo=%t|nofast=%t",
 		spec.CacheMB, spec.Alloc, seed,
 		spec.Revoke.Enabled, spec.Revoke.MinDecisions, spec.Revoke.MistakeRatio,
-		spec.ReadAheadOff, spec.ReadAheadDepth, spec.SpreadSync, spec.UpcallCPU, spec.FIFODisk,
-		spec.NoFastPath || noFastPathDefault)
+		spec.Opts.ReadAheadOff, spec.Opts.ReadAheadDepth, spec.SpreadSync, spec.UpcallCPU, spec.FIFODisk,
+		spec.Opts.NoFastPath)
 	return b.String(), true
 }

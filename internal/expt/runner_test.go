@@ -85,8 +85,9 @@ func TestFingerprint(t *testing.T) {
 		func(s *RunSpec) { s.Alloc = cache.LRUSP },
 		func(s *RunSpec) { s.Seed = 7 },
 		func(s *RunSpec) { s.Revoke = cache.RevokeConfig{Enabled: true, MinDecisions: 1, MistakeRatio: 0.5} },
-		func(s *RunSpec) { s.ReadAheadOff = true },
-		func(s *RunSpec) { s.ReadAheadDepth = 4 },
+		func(s *RunSpec) { s.Opts.ReadAheadOff = true },
+		func(s *RunSpec) { s.Opts.ReadAheadDepth = 4 },
+		func(s *RunSpec) { s.Opts.NoFastPath = true },
 		func(s *RunSpec) { s.SpreadSync = true },
 		func(s *RunSpec) { s.UpcallCPU = 1000 },
 		func(s *RunSpec) { s.FIFODisk = true },

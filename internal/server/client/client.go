@@ -1,11 +1,19 @@
 // Package client is the typed Go client for the acfcd wire protocol:
-// one method per operation of the paper's user/kernel interface. A Conn
+// one method per operation of the paper's user/kernel interface, plus a
+// multiplexed Fbehavior entry point mirroring the paper's syscall. A Conn
 // issues one request at a time (round-trip under a mutex); concurrency
 // comes from opening several Conns, one per simulated application, which
 // is exactly the server's session-per-owner model.
+//
+// Failures surface as typed sentinel errors where the caller's reaction
+// differs — errors.Is(err, ErrRefused) for drain refusals a load
+// generator retries elsewhere, ErrRevoked for a dead session, ErrBadFrame
+// for protocol-level damage — with the full status available via
+// errors.As on *StatusError.
 package client
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,7 +25,23 @@ import (
 	"repro/internal/server"
 )
 
-// StatusError is a non-OK response.
+// Sentinel errors for the statuses callers branch on. They match via
+// errors.Is against any error this package returns.
+var (
+	// ErrRefused: the server is draining for shutdown and refused the
+	// request. Load generators count these apart from real errors and may
+	// retry on a reconnect.
+	ErrRefused = errors.New("acfcd: request refused: server draining")
+	// ErrRevoked: the session's owner is unknown or already released —
+	// the session is dead and must reconnect.
+	ErrRevoked = errors.New("acfcd: session revoked")
+	// ErrBadFrame: the peer rejected the frame as malformed, or this
+	// client received a response it cannot parse.
+	ErrBadFrame = errors.New("acfcd: bad frame")
+)
+
+// StatusError is a non-OK response. It satisfies errors.Is for the
+// sentinel matching its status.
 type StatusError struct {
 	Status uint8
 	Msg    string
@@ -27,12 +51,18 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("acfcd: %s: %s", server.StatusName(e.Status), e.Msg)
 }
 
-// IsRefused reports whether err is the server refusing work because it
-// is draining for shutdown. Load generators count these apart from real
-// errors.
-func IsRefused(err error) bool {
-	var se *StatusError
-	return errors.As(err, &se) && se.Status == server.StatusRefused
+// Is maps statuses onto the package sentinels, so
+// errors.Is(err, ErrRefused) works on any returned error.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrRefused:
+		return e.Status == server.StatusRefused
+	case ErrRevoked:
+		return e.Status == server.StatusRevoked
+	case ErrBadFrame:
+		return e.Status == server.StatusBadRequest
+	}
+	return false
 }
 
 // File describes an open file.
@@ -45,6 +75,8 @@ type File struct {
 type Conn struct {
 	mu     sync.Mutex
 	c      net.Conn
+	bw     *bufio.Writer
+	br     *bufio.Reader
 	nextID uint32
 }
 
@@ -54,7 +86,11 @@ func Dial(network, addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	return &Conn{
+		c:  c,
+		bw: bufio.NewWriterSize(c, server.MaxFrame),
+		br: bufio.NewReaderSize(c, server.MaxFrame),
+	}, nil
 }
 
 // Close ends the session; the server releases this owner's blocks.
@@ -66,15 +102,18 @@ func (c *Conn) roundTrip(op uint8, body []byte) ([]byte, error) {
 	defer c.mu.Unlock()
 	c.nextID++
 	id := c.nextID
-	if err := server.WriteFrame(c.c, id, op, body); err != nil {
+	if err := server.WriteFrame(c.bw, id, op, body); err != nil {
 		return nil, err
 	}
-	gotID, status, resp, err := server.ReadFrame(c.c)
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	gotID, status, resp, err := server.ReadFrame(c.br)
 	if err != nil {
 		return nil, err
 	}
 	if gotID != id {
-		return nil, fmt.Errorf("acfcd: response id %d for request %d", gotID, id)
+		return nil, fmt.Errorf("%w: response id %d for request %d", ErrBadFrame, gotID, id)
 	}
 	if status != server.StatusOK {
 		return nil, &StatusError{Status: status, Msg: string(resp)}
@@ -95,7 +134,7 @@ func (c *Conn) Open(name string) (File, error) {
 		return File{}, err
 	}
 	if len(resp) != 8 {
-		return File{}, fmt.Errorf("acfcd: open: %d-byte response", len(resp))
+		return File{}, fmt.Errorf("%w: open: %d-byte response", ErrBadFrame, len(resp))
 	}
 	return File{ID: fs.FileID(be32(resp[0:])), Size: int(be32(resp[4:]))}, nil
 }
@@ -111,7 +150,7 @@ func (c *Conn) Create(name string, d, sizeBlocks int) (File, error) {
 		return File{}, err
 	}
 	if len(resp) != 8 {
-		return File{}, fmt.Errorf("acfcd: create: %d-byte response", len(resp))
+		return File{}, fmt.Errorf("%w: create: %d-byte response", ErrBadFrame, len(resp))
 	}
 	return File{ID: fs.FileID(be32(resp[0:])), Size: int(be32(resp[4:]))}, nil
 }
@@ -148,7 +187,7 @@ func (c *Conn) Read(f fs.FileID, blk int32, off, size int) (data []byte, hit boo
 		return nil, false, err
 	}
 	if len(resp) != 1+size {
-		return nil, false, fmt.Errorf("acfcd: read: %d-byte response, want %d", len(resp), 1+size)
+		return nil, false, fmt.Errorf("%w: read: %d-byte response, want %d", ErrBadFrame, len(resp), 1+size)
 	}
 	return resp[1:], resp[0]&server.FlagHit != 0, nil
 }
@@ -161,7 +200,7 @@ func (c *Conn) ReadNoData(f fs.FileID, blk int32, off, size int) (hit bool, err 
 		return false, err
 	}
 	if len(resp) != 1 {
-		return false, fmt.Errorf("acfcd: read: %d-byte response, want 1", len(resp))
+		return false, fmt.Errorf("%w: read: %d-byte response, want 1", ErrBadFrame, len(resp))
 	}
 	return resp[0]&server.FlagHit != 0, nil
 }
@@ -180,7 +219,7 @@ func (c *Conn) Write(f fs.FileID, blk int32, off int, payload []byte) (hit bool,
 		return false, err
 	}
 	if len(resp) != 1 {
-		return false, fmt.Errorf("acfcd: write: %d-byte response", len(resp))
+		return false, fmt.Errorf("%w: write: %d-byte response", ErrBadFrame, len(resp))
 	}
 	return resp[0]&server.FlagHit != 0, nil
 }
@@ -196,61 +235,116 @@ func (c *Conn) Control(enable bool) error {
 	return err
 }
 
+// FbOp selects the operation of a multiplexed Fbehavior call — the five
+// cache-control calls of the paper's fbehavior syscall.
+type FbOp uint8
+
+const (
+	FbSetPriority FbOp = iota
+	FbGetPriority
+	FbSetPolicy
+	FbGetPolicy
+	FbSetTempPri
+)
+
+// FbArgs are the arguments of a multiplexed Fbehavior call; each op
+// reads the fields it needs (File for the per-file calls, Prio for all,
+// Policy for FbSetPolicy, Start/End for FbSetTempPri).
+type FbArgs struct {
+	File   fs.FileID
+	Prio   int
+	Policy acm.Policy
+	Start  int32
+	End    int32
+}
+
+// FbResult is the result of a multiplexed Fbehavior call: Prio for
+// FbGetPriority, Policy for FbGetPolicy, zero otherwise.
+type FbResult struct {
+	Prio   int
+	Policy acm.Policy
+}
+
+// Fbehavior is the multiplexed form of the paper's fbehavior syscall:
+// one entry point, the op selecting the call. The typed wrappers
+// (SetPriority, GetPriority, SetPolicy, GetPolicy, SetTempPri) all route
+// through it.
+func (c *Conn) Fbehavior(op FbOp, a FbArgs) (FbResult, error) {
+	switch op {
+	case FbSetPriority:
+		body := make([]byte, 8)
+		put32(body[0:], uint32(a.File))
+		put32(body[4:], uint32(int32(a.Prio)))
+		_, err := c.roundTrip(server.OpSetPriority, body)
+		return FbResult{}, err
+	case FbGetPriority:
+		body := make([]byte, 4)
+		put32(body, uint32(a.File))
+		resp, err := c.roundTrip(server.OpGetPriority, body)
+		if err != nil {
+			return FbResult{}, err
+		}
+		if len(resp) != 4 {
+			return FbResult{}, fmt.Errorf("%w: get_priority: %d-byte response", ErrBadFrame, len(resp))
+		}
+		return FbResult{Prio: int(int32(be32(resp)))}, nil
+	case FbSetPolicy:
+		body := make([]byte, 5)
+		put32(body[0:], uint32(int32(a.Prio)))
+		body[4] = uint8(a.Policy)
+		_, err := c.roundTrip(server.OpSetPolicy, body)
+		return FbResult{}, err
+	case FbGetPolicy:
+		body := make([]byte, 4)
+		put32(body, uint32(int32(a.Prio)))
+		resp, err := c.roundTrip(server.OpGetPolicy, body)
+		if err != nil {
+			return FbResult{}, err
+		}
+		if len(resp) != 1 {
+			return FbResult{}, fmt.Errorf("%w: get_policy: %d-byte response", ErrBadFrame, len(resp))
+		}
+		return FbResult{Policy: acm.Policy(resp[0])}, nil
+	case FbSetTempPri:
+		body := make([]byte, 16)
+		put32(body[0:], uint32(a.File))
+		put32(body[4:], uint32(a.Start))
+		put32(body[8:], uint32(a.End))
+		put32(body[12:], uint32(int32(a.Prio)))
+		_, err := c.roundTrip(server.OpSetTempPri, body)
+		return FbResult{}, err
+	}
+	return FbResult{}, fmt.Errorf("%w: unknown fbehavior op %d", ErrBadFrame, op)
+}
+
 // SetPriority sets the long-term cache priority of a file.
 func (c *Conn) SetPriority(f fs.FileID, prio int) error {
-	body := make([]byte, 8)
-	put32(body[0:], uint32(f))
-	put32(body[4:], uint32(int32(prio)))
-	_, err := c.roundTrip(server.OpSetPriority, body)
+	_, err := c.Fbehavior(FbSetPriority, FbArgs{File: f, Prio: prio})
 	return err
 }
 
 // GetPriority reads the long-term cache priority of a file.
 func (c *Conn) GetPriority(f fs.FileID) (int, error) {
-	body := make([]byte, 4)
-	put32(body, uint32(f))
-	resp, err := c.roundTrip(server.OpGetPriority, body)
-	if err != nil {
-		return 0, err
-	}
-	if len(resp) != 4 {
-		return 0, fmt.Errorf("acfcd: get_priority: %d-byte response", len(resp))
-	}
-	return int(int32(be32(resp))), nil
+	res, err := c.Fbehavior(FbGetPriority, FbArgs{File: f})
+	return res.Prio, err
 }
 
 // SetPolicy sets the replacement policy of a priority level.
 func (c *Conn) SetPolicy(prio int, pol acm.Policy) error {
-	body := make([]byte, 5)
-	put32(body[0:], uint32(int32(prio)))
-	body[4] = uint8(pol)
-	_, err := c.roundTrip(server.OpSetPolicy, body)
+	_, err := c.Fbehavior(FbSetPolicy, FbArgs{Prio: prio, Policy: pol})
 	return err
 }
 
 // GetPolicy reads the replacement policy of a priority level.
 func (c *Conn) GetPolicy(prio int) (acm.Policy, error) {
-	body := make([]byte, 4)
-	put32(body, uint32(int32(prio)))
-	resp, err := c.roundTrip(server.OpGetPolicy, body)
-	if err != nil {
-		return 0, err
-	}
-	if len(resp) != 1 {
-		return 0, fmt.Errorf("acfcd: get_policy: %d-byte response", len(resp))
-	}
-	return acm.Policy(resp[0]), nil
+	res, err := c.Fbehavior(FbGetPolicy, FbArgs{Prio: prio})
+	return res.Policy, err
 }
 
 // SetTempPri assigns a temporary priority to cached blocks of f in
 // [startBlk, endBlk].
 func (c *Conn) SetTempPri(f fs.FileID, startBlk, endBlk int32, prio int) error {
-	body := make([]byte, 16)
-	put32(body[0:], uint32(f))
-	put32(body[4:], uint32(startBlk))
-	put32(body[8:], uint32(endBlk))
-	put32(body[12:], uint32(int32(prio)))
-	_, err := c.roundTrip(server.OpSetTempPri, body)
+	_, err := c.Fbehavior(FbSetTempPri, FbArgs{File: f, Start: startBlk, End: endBlk, Prio: prio})
 	return err
 }
 

@@ -7,10 +7,11 @@ import (
 )
 
 // MetricsHandler returns an http.Handler exposing the server's counters
-// as Prometheus-style plaintext. The kernel block is rendered by
-// stats.Snapshot.WriteMetrics, so the counter names are exactly the
-// acbench -json names with an acfcd prefix; server-level and
-// per-session gauges follow.
+// as Prometheus-style plaintext. The kernel block (aggregated over the
+// shards) is rendered by stats.Snapshot.WriteMetrics, so the counter
+// names are exactly the acbench -json names with an acfcd prefix;
+// server-level gauges, per-shard sections (the same schema, labeled
+// {shard="k"}), and per-session gauges follow.
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m, ok := s.Metrics()
@@ -26,6 +27,14 @@ func (s *Server) MetricsHandler() http.Handler {
 		fmt.Fprintf(w, "acfcd_refused_total %d\n", m.Refused)
 		fmt.Fprintf(w, "acfcd_fills_inflight %d\n", m.FillsInflight)
 		fmt.Fprintf(w, "acfcd_cached_blocks %d\n", m.CachedBlocks)
+		for i, sm := range m.Shards {
+			l := fmt.Sprintf(`{shard="%d"}`, i)
+			sm.Kernel.WriteMetricsLabeled(w, "acfcd_shard", l)
+			fmt.Fprintf(w, "acfcd_shard_requests_total%s %d\n", l, sm.Requests)
+			fmt.Fprintf(w, "acfcd_shard_refused_total%s %d\n", l, sm.Refused)
+			fmt.Fprintf(w, "acfcd_shard_fills_inflight%s %d\n", l, sm.FillsInflight)
+			fmt.Fprintf(w, "acfcd_shard_cached_blocks%s %d\n", l, sm.CachedBlocks)
+		}
 		sort.Slice(m.Sessions, func(i, j int) bool { return m.Sessions[i].Owner < m.Sessions[j].Owner })
 		for _, se := range m.Sessions {
 			l := fmt.Sprintf(`{owner="%d",addr=%q}`, se.Owner, se.Name)

@@ -38,9 +38,9 @@ func TestOracleWireReplayMatchesSimulation(t *testing.T) {
 		cacheMB float64
 		alloc   cache.Alloc
 	}{
-		{"cs1", workload.Smart, 2, cache.LRUSP},    // read-only scans, fbehavior-heavy
+		{"cs1", workload.Smart, 2, cache.LRUSP}, // read-only scans, fbehavior-heavy
 		{"cs1", workload.Oblivious, 2, cache.GlobalLRU},
-		{"sort", workload.Smart, 2, cache.LRUSP},   // writes, grows and removes files
+		{"sort", workload.Smart, 2, cache.LRUSP}, // writes, grows and removes files
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -49,10 +49,10 @@ func TestOracleWireReplayMatchesSimulation(t *testing.T) {
 				t.Skip("sort transcript is large; skipped in -short")
 			}
 			rec := expt.Record(expt.RunSpec{
-				Apps:         []expt.AppSpec{{Name: tc.app, Make: expt.Registry[tc.app], Mode: tc.mode}},
-				CacheMB:      tc.cacheMB,
-				Alloc:        tc.alloc,
-				ReadAheadOff: true,
+				Apps:    []expt.AppSpec{{Name: tc.app, Make: expt.Registry[tc.app], Mode: tc.mode}},
+				CacheMB: tc.cacheMB,
+				Alloc:   tc.alloc,
+				Opts:    expt.Options{ReadAheadOff: true},
 			})
 			if len(rec.Events) == 0 {
 				t.Fatal("recording captured no events")
@@ -60,10 +60,17 @@ func TestOracleWireReplayMatchesSimulation(t *testing.T) {
 
 			// WallClock off: the server's logical tick clock makes the
 			// replay's recency order deterministic.
-			_, _, dial := startServer(t, server.Config{Kernel: core.LiveConfig{
-				CacheBytes: core.MB(tc.cacheMB),
-				Alloc:      tc.alloc,
-			}})
+			// Shards pinned to 1: the oracle's parity argument needs the
+			// whole cache to be one replacement domain, exactly the
+			// simulated kernel. (This is also the gate that a 1-shard
+			// server is the old server, bit for bit.)
+			_, _, dial := startServer(t, server.Config{
+				Kernel: core.LiveConfig{
+					CacheBytes: core.MB(tc.cacheMB),
+					Alloc:      tc.alloc,
+				},
+				Shards: 1,
+			})
 			c := dial()
 			defer c.Close()
 

@@ -1,8 +1,19 @@
 // Package server implements acfcd, a concurrent application-controlled
 // cache server: the paper's user/kernel interface — open, read, write,
 // close, plus the five fbehavior cache-control calls — exposed to real
-// client processes over a socket, with one Live kernel behind a single
-// serialized kernel loop.
+// client processes over a socket, with N Live kernel shards, each behind
+// its own serialized loop, and files hashed to shards at open time.
+//
+// Shard routing. Most ops are shard-local: open, create and remove route
+// by a stable hash of the file name; read, write, close, set_priority,
+// get_priority and set_temppri route by the file id (the wire id encodes
+// its shard: wire = local*shards + shard). ping and get_policy anchor at
+// shard 0. Two ops broadcast — control and set_policy target per-manager
+// state that exists in every shard, so the session's reader runs them in
+// each shard before the next frame — and stats aggregates: the reply
+// folds every shard's counters (plus a per-shard breakdown when
+// shards > 1). Shutdown drain and the /metrics snapshot are likewise
+// all-shard operations, orchestrated outside any one loop.
 //
 // Wire protocol. Every message is a length-prefixed binary frame,
 // big-endian throughout:
@@ -73,6 +84,7 @@ const (
 	StatusRefused   // server is draining for shutdown
 	StatusIO
 	StatusRange
+	StatusRevoked // the session's owner is unknown or already released
 )
 
 // StatusName names a status for reports.
@@ -96,6 +108,8 @@ func StatusName(st uint8) string {
 		return "io"
 	case StatusRange:
 		return "range"
+	case StatusRevoked:
+		return "revoked"
 	}
 	return fmt.Sprintf("status%d", st)
 }

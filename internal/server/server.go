@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,35 +9,47 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/acm"
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/fs"
 	"repro/internal/stats"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Kernel configures the Live kernel. Config overwrites
-	// Kernel.StartFill: the server owns fill execution.
+	// Kernel configures the Live kernels. Config overwrites
+	// Kernel.StartFill and Kernel.Store (each shard gets a keyspace
+	// slice of the shared store): the server owns fill execution.
 	Kernel core.LiveConfig
+	// Shards is the number of independent kernel shards (default 1).
+	// Each shard owns its own Live — its own cache arena, ACM, and fill
+	// accounting — and its own message loop; files hash to a shard at
+	// open time, so every block of a file lives in exactly one
+	// replacement domain. Shards=1 is the unsharded server, bit for bit.
+	Shards int
 	// MaxInflight bounds pipelined requests per session (default 32).
-	// The bound is what lets the kernel loop respond without ever
+	// The bound is what lets the kernel loops respond without ever
 	// blocking on a slow client: a session holds one token per
 	// unanswered request, so the response channel never fills.
 	MaxInflight int
 	// IdleTimeout disconnects a session with no traffic for this long
-	// (default 2 minutes); disconnect releases the session's owner.
+	// (default 2 minutes); disconnect releases the session's owners.
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response write (default 30s).
 	WriteTimeout time.Duration
-	// CheckInvariants runs the kernel's cross-structure invariant
+	// CheckInvariants runs each shard kernel's cross-structure invariant
 	// checks after every session close (tests; too slow for production).
 	CheckInvariants bool
 }
 
 func (c *Config) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 32
 	}
@@ -48,20 +61,36 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// StatsReply is the JSON body of an OpStats response.
+// StatsReply is the JSON body of an OpStats response. With more than one
+// shard, Session and Kernel aggregate over the shards and PerShard
+// carries the breakdown; a 1-shard server omits PerShard so its wire
+// responses are identical to the unsharded server's.
 type StatsReply struct {
-	Session core.ProcStats `json:"session"`
-	Kernel  stats.Snapshot `json:"kernel"`
+	Session  core.ProcStats   `json:"session"`
+	Kernel   stats.Snapshot   `json:"kernel"`
+	PerShard []stats.Snapshot `json:"per_shard,omitempty"`
 }
 
-// SessionInfo describes one live session in a Metrics snapshot.
+// SessionInfo describes one live session in a Metrics snapshot. Owner is
+// the session's owner id in shard 0 (owner ids are per-shard); Stats
+// aggregates the session's counters across all shards.
 type SessionInfo struct {
 	Owner int
 	Name  string
 	Stats core.ProcStats
 }
 
-// Metrics is a point-in-time server snapshot.
+// ShardMetrics is one shard's slice of a Metrics snapshot.
+type ShardMetrics struct {
+	Kernel        stats.Snapshot
+	Requests      int64
+	Refused       int64
+	FillsInflight int
+	CachedBlocks  int
+}
+
+// Metrics is a point-in-time server snapshot. The top-level fields
+// aggregate over the shards; Shards carries the per-shard breakdown.
 type Metrics struct {
 	Kernel         stats.Snapshot
 	SessionsActive int
@@ -70,6 +99,7 @@ type Metrics struct {
 	Refused        int64
 	FillsInflight  int
 	CachedBlocks   int
+	Shards         []ShardMetrics
 	Sessions       []SessionInfo
 }
 
@@ -87,27 +117,36 @@ type outFrame struct {
 	body []byte
 }
 
-// session is one client connection = one cache owner. The reader and
-// writer goroutines own conn's two directions; owner/closed belong to
-// the kernel loop alone.
+// session is one client connection = one cache owner (one owner id per
+// shard). The reader and writer goroutines own conn's two directions;
+// owners[i] belongs to shard i's loop alone.
 type session struct {
 	srv  *Server
 	conn net.Conn
 	name string
 
 	// tokens implements per-session backpressure: the reader takes a
-	// token per request and the writer returns it after the response
-	// hits the wire, so at most MaxInflight responses can ever be
-	// queued — which is why the kernel loop's sends to out can never
-	// block, and a dead client can never wedge the kernel.
+	// token per request and the writer returns it after dequeuing the
+	// response, so at most MaxInflight responses can ever be queued —
+	// which is why the kernel loops' sends to out can never block, and a
+	// dead client can never wedge a kernel.
 	tokens chan struct{}
 	out    chan outFrame
 	die    chan struct{}
 	once   sync.Once
 
-	// Kernel-goroutine state.
-	owner  int
-	closed bool
+	// owners[i] is this session's owner id in shard i, written by shard
+	// i's loop when it processes the open message and read only by that
+	// shard afterwards.
+	owners []int
+
+	// closeLeft counts shards that have not yet processed this session's
+	// close message; the last one closes out. outMu orders late sends
+	// (a fill completing after some shard closed the session) against
+	// that close.
+	closeLeft atomic.Int32
+	outMu     sync.RWMutex
+	outClosed bool
 }
 
 // kill tears the connection down; safe from any goroutine, idempotent.
@@ -118,83 +157,172 @@ func (s *session) kill() {
 	})
 }
 
-// send queues a response. Kernel goroutine only; never blocks (see
-// session.tokens); drops the frame once the session has closed.
+// send queues a response. Never blocks (see session.tokens); drops the
+// frame once every shard has closed the session. Unlike the unsharded
+// server, sends arrive from several shard loops, so the closed check and
+// the channel close are ordered by outMu instead of loop ownership.
 func (s *session) send(id uint32, tag uint8, body []byte) {
-	if s.closed {
-		return
+	s.outMu.RLock()
+	if !s.outClosed {
+		s.out <- outFrame{id: id, tag: tag, body: body}
 	}
-	s.out <- outFrame{id: id, tag: tag, body: body}
+	s.outMu.RUnlock()
 }
 
 func (s *session) sendErr(id uint32, err error) {
 	s.send(id, statusOf(err), []byte(err.Error()))
 }
 
-// kmsg is one message into the kernel loop. Exactly one field group is
-// set: a session event (sess + req/open/close), a completed fill, a
-// metrics request, or a shutdown phase.
-type kmsg struct {
-	sess    *session
-	req     *request // with sess: one request frame
-	open    bool     // with sess: session arrived
-	close   bool     // with sess: session is gone
-	fill    *core.Fill
-	metrics chan<- Metrics
-	drain   bool // begin refusing requests
-	force   bool // kill every remaining session
+// shardClosed records that one shard has finished closing this session;
+// the last shard closes the response channel, ending the writer.
+func (s *session) shardClosed() {
+	if s.closeLeft.Add(-1) == 0 {
+		s.outMu.Lock()
+		s.outClosed = true
+		close(s.out)
+		s.outMu.Unlock()
+	}
 }
 
-// Server is the acfcd daemon: one Live kernel, one kernel-loop
-// goroutine that owns it, and any number of client sessions feeding it
-// requests over a channel.
-type Server struct {
-	cfg  Config
+// kmsg is one message into a shard loop. Exactly one field group is set:
+// a session event (sess + req/open/close), a completed fill, a closure to
+// run on the shard goroutine, or a shutdown phase.
+type kmsg struct {
+	sess  *session
+	req   *request // with sess: one request frame
+	open  bool     // with sess: session arrived
+	close bool     // with sess: session is gone
+	fill  *core.Fill
+	call  func(*shard) // run on the shard goroutine (metrics, broadcasts)
+	drain bool         // begin refusing requests
+	force bool         // kill every remaining session
+}
+
+// shard is one kernel shard: a Live of its own plus the one goroutine
+// that owns it. All fields below kch are that goroutine's alone.
+type shard struct {
+	idx  int
+	srv  *Server
 	kern *core.Live
 	kch  chan kmsg
-	// kdone closes when the kernel loop exits (shutdown drained).
+	// done closes when the shard has drained (shutdown); the loop keeps
+	// consuming kch afterwards — refusing requests, settling session
+	// closes — so sends to kch never block, but it no longer touches the
+	// kernel, which makes Server.Close safe.
+	done chan struct{}
+
+	sessions      map[*session]bool
+	draining      bool
+	retired       bool // drained: done closed, kernel off-limits
+	fillsInflight int
+	requests      int64
+	refused       int64
+}
+
+// remapStore gives each shard a disjoint keyspace in the shared block
+// store by translating shard-local file ids to their wire encoding
+// (local*shards + shard) — the same bijection the protocol uses, so a
+// block's bytes live under the id the client knows. Close is a no-op:
+// the server closes the shared base store exactly once.
+type remapStore struct {
+	base     disk.Store
+	shard, n int32
+}
+
+func (r remapStore) ReadBlock(file, blk int32, dst []byte) error {
+	return r.base.ReadBlock(file*r.n+r.shard, blk, dst)
+}
+func (r remapStore) WriteBlock(file, blk int32, src []byte) error {
+	return r.base.WriteBlock(file*r.n+r.shard, blk, src)
+}
+func (r remapStore) Close() error { return nil }
+
+// Server is the acfcd daemon: N kernel shards, each a Live owned by one
+// loop goroutine, and any number of client sessions feeding them
+// requests over per-shard channels.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	store  disk.Store // the shared base store behind the shard remaps
+	// kdone closes when every shard has drained (shutdown complete).
 	kdone chan struct{}
 
 	mu        sync.Mutex
 	listeners []net.Listener
 	down      bool
 
-	// Kernel-goroutine state.
-	sessions      map[*session]bool
-	draining      bool
-	fillsInflight int
-	requests      int64
-	refused       int64
-	sessionsTotal int64
+	sessionsTotal atomic.Int64
+	// Broadcast and aggregated ops (control, set_policy, stats) are
+	// orchestrated by session readers, not any one shard loop, so their
+	// request accounting lives here.
+	xRequests atomic.Int64
+	xRefused  atomic.Int64
 }
 
-// New builds a Server and starts its kernel loop.
+// New builds a Server and starts its shard loops.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
-	srv := &Server{
-		cfg:      cfg,
-		kch:      make(chan kmsg, 256),
-		kdone:    make(chan struct{}),
-		sessions: make(map[*session]bool),
+	base := cfg.Kernel.Store
+	if base == nil {
+		base = disk.NewMemStore()
 	}
-	// Fills run on one goroutine each and re-enter through the kernel
-	// channel; the loop counts them so shutdown can wait for the last.
-	cfg.Kernel.StartFill = func(fl *core.Fill) {
-		srv.fillsInflight++
-		store := srv.kern.Store()
-		go func() {
-			fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
-			srv.kch <- kmsg{fill: fl}
-		}()
+	srv := &Server{cfg: cfg, store: base, kdone: make(chan struct{})}
+	n := cfg.Shards
+	kerns := make([]*core.Live, 0, n)
+	for i := 0; i < n; i++ {
+		sh := &shard{
+			idx:      i,
+			srv:      srv,
+			kch:      make(chan kmsg, 256),
+			done:     make(chan struct{}),
+			sessions: make(map[*session]bool),
+		}
+		kcfg := cfg.Kernel.ShardConfig(i, n)
+		kcfg.Store = remapStore{base: base, shard: int32(i), n: int32(n)}
+		// Fills run on one goroutine each and re-enter through the shard
+		// channel; the loop counts them so shutdown can wait for the last.
+		kcfg.StartFill = func(fl *core.Fill) {
+			sh.fillsInflight++
+			store := sh.kern.Store()
+			go func() {
+				fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+				sh.kch <- kmsg{fill: fl}
+			}()
+		}
+		sh.kern = core.NewLive(kcfg)
+		kerns = append(kerns, sh.kern)
+		srv.shards = append(srv.shards, sh)
 	}
-	srv.kern = core.NewLive(cfg.Kernel)
-	go srv.kernelLoop()
+	core.CheckShardInvariants(kerns, cfg.Kernel)
+	for _, sh := range srv.shards {
+		go sh.loop()
+	}
+	go func() {
+		for _, sh := range srv.shards {
+			<-sh.done
+		}
+		close(srv.kdone)
+	}()
 	return srv
 }
 
-// Kernel exposes the Live kernel for tests. The kernel is owned by the
-// kernel loop; callers must not touch it while the server is running.
-func (s *Server) Kernel() *core.Live { return s.kern }
+// Kernel exposes shard 0's Live kernel for tests and single-shard
+// embeddings. Kernels are owned by their shard loops; callers must not
+// touch them while the server is running.
+func (s *Server) Kernel() *core.Live { return s.shards[0].kern }
+
+// Shards reports the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Close flushes every shard kernel's dirty blocks and closes the shared
+// block store. Call only after Shutdown has returned: the shard loops
+// stop touching their kernels once drained.
+func (s *Server) Close() error {
+	for _, sh := range s.shards {
+		sh.kern.FlushDirty(core.MaxTime)
+	}
+	return s.store.Close()
+}
 
 // Serve accepts connections on ln until the listener is closed. One
 // Server may serve several listeners concurrently.
@@ -223,10 +351,10 @@ func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed) || strings.Contains(err.Error(), "use of closed")
 }
 
-// startSession registers conn as a new owner session and starts its
-// reader and writer. The registration message is enqueued before the
-// reader exists, so the kernel always sees open before the first
-// request.
+// startSession registers conn as a new owner session in every shard and
+// starts its reader and writer. The registration messages are enqueued
+// before the reader exists, so each shard sees the open before any of
+// that session's requests.
 func (s *Server) startSession(conn net.Conn) {
 	se := &session{
 		srv:    s,
@@ -235,19 +363,25 @@ func (s *Server) startSession(conn net.Conn) {
 		tokens: make(chan struct{}, s.cfg.MaxInflight),
 		out:    make(chan outFrame, s.cfg.MaxInflight),
 		die:    make(chan struct{}),
+		owners: make([]int, len(s.shards)),
 	}
+	se.closeLeft.Store(int32(len(s.shards)))
 	for i := 0; i < s.cfg.MaxInflight; i++ {
 		se.tokens <- struct{}{}
 	}
-	s.kch <- kmsg{sess: se, open: true}
+	s.sessionsTotal.Add(1)
+	for _, sh := range s.shards {
+		sh.kch <- kmsg{sess: se, open: true}
+	}
 	go se.readLoop()
 	go se.writeLoop()
 }
 
 func (se *session) readLoop() {
+	br := bufio.NewReaderSize(se.conn, MaxFrame)
 	for {
 		se.conn.SetReadDeadline(time.Now().Add(se.srv.cfg.IdleTimeout))
-		id, op, body, err := ReadFrame(se.conn)
+		id, op, body, err := ReadFrame(br)
 		if err != nil {
 			break
 		}
@@ -257,43 +391,247 @@ func (se *session) readLoop() {
 		}
 		select {
 		case <-se.die:
-			// Don't enqueue after kill: the close message must be the
-			// session's last.
+			// Don't enqueue after kill: the close messages must be the
+			// session's last in every shard.
 		default:
-			se.srv.kch <- kmsg{sess: se, req: &request{id: id, op: op, body: body}}
+			se.srv.dispatch(se, &request{id: id, op: op, body: body})
 			continue
 		}
 		break
 	}
 	se.kill()
-	se.srv.kch <- kmsg{sess: se, close: true}
+	for _, sh := range se.srv.shards {
+		sh.kch <- kmsg{sess: se, close: true}
+	}
+}
+
+// dispatch routes one frame. Shard-local ops go to their file's (or
+// name's) shard; broadcast ops (control, set_policy) and the stats
+// aggregation are orchestrated here, on the reader goroutine, which
+// keeps each shard's FIFO ordered: a broadcast completes in every shard
+// before the reader can enqueue the session's next frame.
+func (s *Server) dispatch(se *session, r *request) {
+	switch r.op {
+	case OpControl, OpSetPolicy:
+		s.broadcastCtl(se, r)
+	case OpStats:
+		s.aggregateStats(se, r)
+	default:
+		s.shardFor(r.op, r.body).kch <- kmsg{sess: se, req: r}
+	}
+}
+
+// shardFor picks the shard a frame belongs to: file-scoped ops route by
+// the wire file id (wire%N is the shard, by construction), name-scoped
+// ops by a stable hash of the name — the same hash open used, so a
+// file's blocks always land in the shard that owns the file. Anything
+// unroutable (ping, get_policy, malformed bodies) anchors at shard 0.
+func (s *Server) shardFor(op uint8, body []byte) *shard {
+	n := uint32(len(s.shards))
+	if n == 1 {
+		return s.shards[0]
+	}
+	switch op {
+	case OpRead, OpWrite, OpClose, OpSetPriority, OpGetPriority, OpSetTempPri:
+		if len(body) >= 4 {
+			return s.shards[be32(body)%n]
+		}
+	case OpOpen, OpRemove:
+		return s.shards[hashName(body)%n]
+	case OpCreate:
+		if len(body) > 5 {
+			return s.shards[hashName(body[5:])%n]
+		}
+	}
+	return s.shards[0]
+}
+
+// hashName is FNV-1a over the file name: stable across runs (replay and
+// restart see the same placement), cheap, and well-mixed on short paths.
+func hashName(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// errDraining is the in-band refusal a draining shard returns to a
+// broadcast closure.
+var errDraining = errors.New("server draining")
+
+// broadcastCtl runs a control-plane op (control, set_policy) in every
+// shard, in shard order, and replies once: these ops target the
+// session's manager state, which exists per shard. First error wins; a
+// refusal from any shard refuses the whole op. Runs on the session's
+// reader goroutine; each shard's closure is complete before the next is
+// posted, and a live registered session keeps its shard loops
+// consuming, so the round-trips cannot deadlock.
+func (s *Server) broadcastCtl(se *session, r *request) {
+	s.xRequests.Add(1)
+	switch r.op {
+	case OpControl:
+		if len(r.body) != 1 {
+			se.send(r.id, StatusBadRequest, []byte("control: want 1-byte body"))
+			return
+		}
+	case OpSetPolicy:
+		if len(r.body) != 5 {
+			se.send(r.id, StatusBadRequest, []byte("set_policy: want 5-byte body"))
+			return
+		}
+	}
+	var firstErr error
+	refused := false
+	for _, sh := range s.shards {
+		reply := make(chan error, 1)
+		sh.kch <- kmsg{call: func(sh *shard) {
+			if sh.draining {
+				reply <- errDraining
+				return
+			}
+			ow := se.owners[sh.idx]
+			var err error
+			switch r.op {
+			case OpControl:
+				if r.body[0] != 0 {
+					err = sh.kern.EnableControl(ow)
+				} else {
+					err = sh.kern.DisableControl(ow)
+				}
+			case OpSetPolicy:
+				err = sh.kern.SetPolicy(ow, int(int32(be32(r.body[0:]))), acm.Policy(r.body[4]))
+			}
+			reply <- err
+		}}
+		if err := <-reply; err == errDraining {
+			refused = true
+		} else if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	switch {
+	case refused:
+		s.xRefused.Add(1)
+		se.send(r.id, StatusRefused, []byte("server shutting down"))
+	case firstErr != nil:
+		se.sendErr(r.id, firstErr)
+	case r.op == OpSetPolicy:
+		se.send(r.id, StatusOK, []byte{r.body[4]})
+	default:
+		se.send(r.id, StatusOK, nil)
+	}
+}
+
+// aggregateStats serves OpStats: per-shard owner counters and kernel
+// snapshots, folded into one reply. Reader-orchestrated like
+// broadcastCtl.
+func (s *Server) aggregateStats(se *session, r *request) {
+	s.xRequests.Add(1)
+	type rep struct {
+		st   core.ProcStats
+		snap stats.Snapshot
+		err  error
+	}
+	var agg core.ProcStats
+	var snaps []stats.Snapshot
+	var firstErr error
+	refused := false
+	for _, sh := range s.shards {
+		reply := make(chan rep, 1)
+		sh.kch <- kmsg{call: func(sh *shard) {
+			if sh.draining {
+				reply <- rep{err: errDraining}
+				return
+			}
+			st, err := sh.kern.OwnerStats(se.owners[sh.idx])
+			reply <- rep{st: st, snap: sh.kern.Snapshot(), err: err}
+		}}
+		rp := <-reply
+		switch {
+		case rp.err == errDraining:
+			refused = true
+		case rp.err != nil:
+			if firstErr == nil {
+				firstErr = rp.err
+			}
+		default:
+			agg.Add(rp.st)
+			snaps = append(snaps, rp.snap)
+		}
+	}
+	if refused {
+		s.xRefused.Add(1)
+		se.send(r.id, StatusRefused, []byte("server shutting down"))
+		return
+	}
+	if firstErr != nil {
+		se.sendErr(r.id, firstErr)
+		return
+	}
+	sr := StatsReply{Session: agg, Kernel: stats.Aggregate(snaps)}
+	if len(snaps) > 1 {
+		sr.PerShard = snaps
+	}
+	body, err := json.Marshal(sr)
+	if err != nil {
+		se.sendErr(r.id, err)
+		return
+	}
+	se.send(r.id, StatusOK, body)
 }
 
 func (se *session) writeLoop() {
-	// Keep draining out even after a write error: the kernel's sends
-	// and the reader's tokens both depend on this loop consuming.
+	// Keep draining out even after a write error: the shards' sends and
+	// the reader's tokens both depend on this loop consuming. Frames
+	// accumulate in bw while more responses are already queued and flush
+	// when the queue goes idle — pipelined bursts pay one syscall, a
+	// lone round-trip still flushes immediately.
+	bw := bufio.NewWriterSize(se.conn, 2*MaxFrame)
 	dead := false
+	fail := func() {
+		dead = true
+		se.kill()
+	}
 	for f := range se.out {
-		if !dead {
-			se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
-			if err := WriteFrame(se.conn, f.id, f.tag, f.body); err != nil {
-				dead = true
-				se.kill()
+		for more := true; more; {
+			if !dead {
+				se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
+				if err := WriteFrame(bw, f.id, f.tag, f.body); err != nil {
+					fail()
+				}
+			}
+			select {
+			case se.tokens <- struct{}{}:
+			default:
+			}
+			select {
+			case next, ok := <-se.out:
+				if !ok {
+					more = false
+					break
+				}
+				f = next
+			default:
+				more = false
 			}
 		}
-		select {
-		case se.tokens <- struct{}{}:
-		default:
+		if !dead && bw.Buffered() > 0 {
+			se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				fail()
+			}
 		}
 	}
 }
 
 // Shutdown drains the server: listeners close, every queued and
-// in-flight request completes or is refused (StatusRefused), and the
-// kernel loop exits once the last session disconnects and the last fill
-// lands. If ctx expires first, remaining sessions are disconnected
-// forcibly; Shutdown still waits for the loop to drain (fills are
-// local I/O and always complete).
+// in-flight request completes or is refused (StatusRefused), and each
+// shard drains once its last session disconnects and its last fill
+// lands; kdone closes when all shards have. If ctx expires first,
+// remaining sessions are disconnected forcibly; Shutdown still waits
+// for the drain (fills are local I/O and always complete).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.down
@@ -308,121 +646,166 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, ln := range lns {
 		ln.Close()
 	}
-	s.kch <- kmsg{drain: true}
+	for _, sh := range s.shards {
+		sh.kch <- kmsg{drain: true}
+	}
 	select {
 	case <-s.kdone:
 		return nil
 	case <-ctx.Done():
-		// The loop may have already drained and exited; never block on
-		// a channel it no longer reads.
-		select {
-		case s.kch <- kmsg{force: true}:
-		case <-s.kdone:
+		for _, sh := range s.shards {
+			sh.kch <- kmsg{force: true}
 		}
 		<-s.kdone
 		return ctx.Err()
 	}
 }
 
-// Metrics snapshots the server counters; ok is false after shutdown.
-func (s *Server) Metrics() (m Metrics, ok bool) {
-	ch := make(chan Metrics, 1)
-	select {
-	case s.kch <- kmsg{metrics: ch}:
-	case <-s.kdone:
-		return Metrics{}, false
+// Metrics snapshots the server counters; ok is false after shutdown has
+// drained any shard.
+func (s *Server) Metrics() (Metrics, bool) {
+	type shardSess struct {
+		se    *session
+		owner int
+		stats core.ProcStats
 	}
-	select {
-	case m = <-ch:
-		return m, true
-	case <-s.kdone:
-		return Metrics{}, false
+	type shardRep struct {
+		ok       bool
+		m        ShardMetrics
+		sessions []shardSess
 	}
-}
-
-// --- the kernel loop ---
-
-// kernelLoop is the one goroutine that owns the Live kernel. Every
-// cache operation in the process happens here, in arrival order — the
-// serialization rule that lets the DES-era cache and ACM structures run
-// a concurrent server unchanged.
-func (s *Server) kernelLoop() {
-	for m := range s.kch {
-		switch {
-		case m.fill != nil:
-			s.fillsInflight--
-			s.kern.CompleteFill(m.fill)
-		case m.metrics != nil:
-			m.metrics <- s.snapshotMetrics()
-		case m.drain:
-			s.draining = true
-			if s.doneDraining() {
-				close(s.kdone)
+	m := Metrics{
+		SessionsTotal: s.sessionsTotal.Load(),
+		Requests:      s.xRequests.Load(),
+		Refused:       s.xRefused.Load(),
+	}
+	var kernels []stats.Snapshot
+	merged := make(map[*session]*SessionInfo)
+	var order []*session
+	for _, sh := range s.shards {
+		reply := make(chan shardRep, 1)
+		sh.kch <- kmsg{call: func(sh *shard) {
+			if sh.retired {
+				reply <- shardRep{}
 				return
 			}
+			rp := shardRep{ok: true, m: ShardMetrics{
+				Kernel:        sh.kern.Snapshot(),
+				Requests:      sh.requests,
+				Refused:       sh.refused,
+				FillsInflight: sh.fillsInflight,
+				CachedBlocks:  sh.kern.Cache().Len(),
+			}}
+			for se := range sh.sessions {
+				st, _ := sh.kern.OwnerStats(se.owners[sh.idx])
+				rp.sessions = append(rp.sessions, shardSess{se: se, owner: se.owners[sh.idx], stats: st})
+			}
+			reply <- rp
+		}}
+		rp := <-reply
+		if !rp.ok {
+			return Metrics{}, false
+		}
+		m.Shards = append(m.Shards, rp.m)
+		m.Requests += rp.m.Requests
+		m.Refused += rp.m.Refused
+		m.FillsInflight += rp.m.FillsInflight
+		m.CachedBlocks += rp.m.CachedBlocks
+		kernels = append(kernels, rp.m.Kernel)
+		for _, ss := range rp.sessions {
+			mi := merged[ss.se]
+			if mi == nil {
+				mi = &SessionInfo{Owner: ss.owner, Name: ss.se.name}
+				merged[ss.se] = mi
+				order = append(order, ss.se)
+			}
+			mi.Stats.Add(ss.stats)
+		}
+	}
+	m.Kernel = stats.Aggregate(kernels)
+	m.SessionsActive = len(order)
+	for _, se := range order {
+		m.Sessions = append(m.Sessions, *merged[se])
+	}
+	return m, true
+}
+
+// --- the shard loops ---
+
+// loop is the one goroutine that owns this shard's Live kernel. Every
+// cache operation in the shard happens here, in arrival order — the
+// serialization rule that lets the DES-era cache and ACM structures run
+// a concurrent server unchanged, now applied per replacement domain.
+//
+// The loop never returns: once drained (retired) it keeps consuming the
+// channel — refusing requests, killing late opens, settling close
+// counts — without touching the kernel again. That standing consumer is
+// what lets every other goroutine send to kch unconditionally.
+func (sh *shard) loop() {
+	for m := range sh.kch {
+		switch {
+		case m.fill != nil:
+			sh.fillsInflight--
+			sh.kern.CompleteFill(m.fill)
+		case m.call != nil:
+			m.call(sh)
+		case m.drain:
+			sh.draining = true
+			sh.maybeRetire()
 		case m.force:
-			for se := range s.sessions {
+			for se := range sh.sessions {
 				se.kill()
 			}
 		case m.sess != nil && m.open:
-			m.sess.owner = s.kern.AddOwner(m.sess.name)
-			s.sessions[m.sess] = true
-			s.sessionsTotal++
-			if s.draining {
-				m.sess.kill()
-			}
+			sh.openSession(m.sess)
 		case m.sess != nil && m.close:
-			s.closeSession(m.sess)
-			if s.draining && s.doneDraining() {
-				close(s.kdone)
-				return
-			}
+			sh.closeSession(m.sess)
+			sh.maybeRetire()
 		case m.sess != nil && m.req != nil:
-			s.handle(m.sess, m.req)
+			sh.handle(m.sess, m.req)
 		}
 	}
 }
 
-// doneDraining reports whether the drained kernel loop may exit: no
-// session can enqueue another message and no fill is in flight.
-func (s *Server) doneDraining() bool {
-	return len(s.sessions) == 0 && s.fillsInflight == 0
+// maybeRetire marks the shard drained when no session can enqueue more
+// work and no fill is in flight.
+func (sh *shard) maybeRetire() {
+	if sh.draining && !sh.retired && len(sh.sessions) == 0 && sh.fillsInflight == 0 {
+		sh.retired = true
+		close(sh.done)
+	}
 }
 
-// closeSession releases a disconnected session's owner: its manager is
-// destroyed and its blocks transferred or evicted — the cache's revoked
-// owner path, run on every client disconnect.
-func (s *Server) closeSession(se *session) {
-	if !s.sessions[se] {
+func (sh *shard) openSession(se *session) {
+	if sh.retired {
+		// Too late to register (the kernel may be closing); the session
+		// dies, and its close message settles the closeLeft count.
+		se.kill()
 		return
 	}
-	delete(s.sessions, se)
-	se.closed = true
-	close(se.out)
-	s.kern.ReleaseOwner(se.owner)
-	if s.cfg.CheckInvariants {
-		s.kern.CheckInvariants()
+	se.owners[sh.idx] = sh.kern.AddOwner(se.name)
+	sh.sessions[se] = true
+	if sh.draining {
+		se.kill()
 	}
 }
 
-func (s *Server) snapshotMetrics() Metrics {
-	m := Metrics{
-		Kernel:         s.kern.Snapshot(),
-		SessionsActive: len(s.sessions),
-		SessionsTotal:  s.sessionsTotal,
-		Requests:       s.requests,
-		Refused:        s.refused,
-		FillsInflight:  s.fillsInflight,
-		CachedBlocks:   s.kern.Cache().Len(),
+// closeSession releases a disconnected session's owner in this shard:
+// its manager is destroyed and its blocks transferred or evicted — the
+// cache's revoked owner path, run on every client disconnect, once per
+// shard.
+func (sh *shard) closeSession(se *session) {
+	if sh.sessions[se] {
+		delete(sh.sessions, se)
+		sh.kern.ReleaseOwner(se.owners[sh.idx])
+		if sh.srv.cfg.CheckInvariants {
+			sh.kern.CheckInvariants()
+		}
 	}
-	for se := range s.sessions {
-		st, _ := s.kern.OwnerStats(se.owner)
-		m.Sessions = append(m.Sessions, SessionInfo{Owner: se.owner, Name: se.name, Stats: st})
-	}
-	return m
+	se.shardClosed()
 }
 
-// --- request dispatch (kernel goroutine) ---
+// --- request dispatch (shard goroutines) ---
 
 func statusOf(err error) uint8 {
 	switch {
@@ -430,8 +813,9 @@ func statusOf(err error) uint8 {
 		return StatusNotFound
 	case errors.Is(err, core.ErrOutOfRange):
 		return StatusRange
-	case errors.Is(err, core.ErrNoControl), errors.Is(err, core.ErrControlled),
-		errors.Is(err, core.ErrUnknownOwner):
+	case errors.Is(err, core.ErrUnknownOwner):
+		return StatusRevoked
+	case errors.Is(err, core.ErrNoControl), errors.Is(err, core.ErrControlled):
 		return StatusNoControl
 	case err != nil && strings.Contains(err.Error(), "exists"):
 		return StatusExists
@@ -441,10 +825,21 @@ func statusOf(err error) uint8 {
 	return StatusIO
 }
 
-func (s *Server) handle(se *session, r *request) {
-	s.requests++
-	if s.draining {
-		s.refused++
+// wire translates a shard-local file id to its wire encoding and local
+// inverts it: wire = local*N + shard. With one shard both are the
+// identity, keeping the unsharded server's ids bit-for-bit.
+func (sh *shard) wire(local fs.FileID) fs.FileID {
+	return local*fs.FileID(len(sh.srv.shards)) + fs.FileID(sh.idx)
+}
+
+func (sh *shard) local(wire fs.FileID) fs.FileID {
+	return wire / fs.FileID(len(sh.srv.shards))
+}
+
+func (sh *shard) handle(se *session, r *request) {
+	sh.requests++
+	if sh.draining {
+		sh.refused++
 		se.send(r.id, StatusRefused, []byte("server shutting down"))
 		return
 	}
@@ -452,13 +847,13 @@ func (s *Server) handle(se *session, r *request) {
 	case OpPing:
 		se.send(r.id, StatusOK, nil)
 	case OpOpen:
-		s.handleOpen(se, r)
+		sh.handleOpen(se, r)
 	case OpCreate:
-		s.handleCreate(se, r)
+		sh.handleCreate(se, r)
 	case OpRead:
-		s.handleRead(se, r)
+		sh.handleRead(se, r)
 	case OpWrite:
-		s.handleWrite(se, r)
+		sh.handleWrite(se, r)
 	case OpClose:
 		if len(r.body) != 4 {
 			se.send(r.id, StatusBadRequest, []byte("close: want 4-byte body"))
@@ -468,35 +863,31 @@ func (s *Server) handle(se *session, r *request) {
 		// the paper, until evicted or the owner disconnects).
 		se.send(r.id, StatusOK, nil)
 	case OpRemove:
-		if err := s.kern.Remove(se.owner, string(r.body)); err != nil {
+		if err := sh.kern.Remove(se.owners[sh.idx], string(r.body)); err != nil {
 			se.sendErr(r.id, err)
 			return
 		}
 		se.send(r.id, StatusOK, nil)
-	case OpControl:
-		s.handleControl(se, r)
-	case OpSetPriority, OpGetPriority, OpSetPolicy, OpGetPolicy, OpSetTempPri:
-		s.handleFbehavior(se, r)
-	case OpStats:
-		s.handleStats(se, r)
+	case OpSetPriority, OpGetPriority, OpGetPolicy, OpSetTempPri:
+		sh.handleFbehavior(se, r)
 	default:
 		se.send(r.id, StatusBadRequest, []byte(fmt.Sprintf("unknown op %d", r.op)))
 	}
 }
 
-func (s *Server) handleOpen(se *session, r *request) {
-	f, err := s.kern.Open(se.owner, string(r.body))
+func (sh *shard) handleOpen(se *session, r *request) {
+	f, err := sh.kern.Open(se.owners[sh.idx], string(r.body))
 	if err != nil {
 		se.sendErr(r.id, err)
 		return
 	}
 	resp := make([]byte, 8)
-	put32(resp[0:], uint32(f.ID()))
+	put32(resp[0:], uint32(sh.wire(f.ID())))
 	put32(resp[4:], uint32(f.Size()))
 	se.send(r.id, StatusOK, resp)
 }
 
-func (s *Server) handleCreate(se *session, r *request) {
+func (sh *shard) handleCreate(se *session, r *request) {
 	if len(r.body) < 6 {
 		se.send(r.id, StatusBadRequest, []byte("create: short body"))
 		return
@@ -508,28 +899,28 @@ func (s *Server) handleCreate(se *session, r *request) {
 		se.send(r.id, StatusBadRequest, []byte("create: empty name"))
 		return
 	}
-	f, err := s.kern.Create(se.owner, name, d, size)
+	f, err := sh.kern.Create(se.owners[sh.idx], name, d, size)
 	if err != nil {
 		se.sendErr(r.id, err)
 		return
 	}
 	resp := make([]byte, 8)
-	put32(resp[0:], uint32(f.ID()))
+	put32(resp[0:], uint32(sh.wire(f.ID())))
 	put32(resp[4:], uint32(f.Size()))
 	se.send(r.id, StatusOK, resp)
 }
 
-func (s *Server) handleRead(se *session, r *request) {
+func (sh *shard) handleRead(se *session, r *request) {
 	if len(r.body) != 13 {
 		se.send(r.id, StatusBadRequest, []byte("read: want 13-byte body"))
 		return
 	}
-	fid := fs.FileID(be32(r.body[0:]))
+	fid := sh.local(fs.FileID(be32(r.body[0:])))
 	blk := int32(be32(r.body[4:]))
 	off := int(be16(r.body[8:]))
 	size := int(be16(r.body[10:]))
 	flags := r.body[12]
-	s.kern.Read(se.owner, fid, blk, off, size, func(data []byte, hit bool, err error) {
+	sh.kern.Read(se.owners[sh.idx], fid, blk, off, size, func(data []byte, hit bool, err error) {
 		if err != nil {
 			se.sendErr(r.id, err)
 			return
@@ -551,12 +942,12 @@ func (s *Server) handleRead(se *session, r *request) {
 	})
 }
 
-func (s *Server) handleWrite(se *session, r *request) {
+func (sh *shard) handleWrite(se *session, r *request) {
 	if len(r.body) < 12 {
 		se.send(r.id, StatusBadRequest, []byte("write: short body"))
 		return
 	}
-	fid := fs.FileID(be32(r.body[0:]))
+	fid := sh.local(fs.FileID(be32(r.body[0:])))
 	blk := int32(be32(r.body[4:]))
 	off := int(be16(r.body[8:]))
 	dlen := int(be16(r.body[10:]))
@@ -565,7 +956,7 @@ func (s *Server) handleWrite(se *session, r *request) {
 		return
 	}
 	payload := r.body[12:]
-	s.kern.Write(se.owner, fid, blk, off, payload, func(hit bool, err error) {
+	sh.kern.Write(se.owners[sh.idx], fid, blk, off, payload, func(hit bool, err error) {
 		if err != nil {
 			se.sendErr(r.id, err)
 			return
@@ -578,32 +969,15 @@ func (s *Server) handleWrite(se *session, r *request) {
 	})
 }
 
-func (s *Server) handleControl(se *session, r *request) {
-	if len(r.body) != 1 {
-		se.send(r.id, StatusBadRequest, []byte("control: want 1-byte body"))
-		return
-	}
-	var err error
-	if r.body[0] != 0 {
-		err = s.kern.EnableControl(se.owner)
-	} else {
-		err = s.kern.DisableControl(se.owner)
-	}
-	if err != nil {
-		se.sendErr(r.id, err)
-		return
-	}
-	se.send(r.id, StatusOK, nil)
-}
-
-func (s *Server) handleFbehavior(se *session, r *request) {
+func (sh *shard) handleFbehavior(se *session, r *request) {
+	owner := se.owners[sh.idx]
 	switch r.op {
 	case OpSetPriority:
 		if len(r.body) != 8 {
 			se.send(r.id, StatusBadRequest, []byte("set_priority: want 8-byte body"))
 			return
 		}
-		err := s.kern.SetPriority(se.owner, fs.FileID(be32(r.body[0:])), int(int32(be32(r.body[4:]))))
+		err := sh.kern.SetPriority(owner, sh.local(fs.FileID(be32(r.body[0:]))), int(int32(be32(r.body[4:]))))
 		if err != nil {
 			se.sendErr(r.id, err)
 			return
@@ -614,7 +988,7 @@ func (s *Server) handleFbehavior(se *session, r *request) {
 			se.send(r.id, StatusBadRequest, []byte("get_priority: want 4-byte body"))
 			return
 		}
-		prio, err := s.kern.GetPriority(se.owner, fs.FileID(be32(r.body[0:])))
+		prio, err := sh.kern.GetPriority(owner, sh.local(fs.FileID(be32(r.body[0:]))))
 		if err != nil {
 			se.sendErr(r.id, err)
 			return
@@ -622,23 +996,12 @@ func (s *Server) handleFbehavior(se *session, r *request) {
 		resp := make([]byte, 4)
 		put32(resp, uint32(int32(prio)))
 		se.send(r.id, StatusOK, resp)
-	case OpSetPolicy:
-		if len(r.body) != 5 {
-			se.send(r.id, StatusBadRequest, []byte("set_policy: want 5-byte body"))
-			return
-		}
-		err := s.kern.SetPolicy(se.owner, int(int32(be32(r.body[0:]))), acm.Policy(r.body[4]))
-		if err != nil {
-			se.sendErr(r.id, err)
-			return
-		}
-		se.send(r.id, StatusOK, []byte{r.body[4]})
 	case OpGetPolicy:
 		if len(r.body) != 4 {
 			se.send(r.id, StatusBadRequest, []byte("get_policy: want 4-byte body"))
 			return
 		}
-		pol, err := s.kern.GetPolicy(se.owner, int(int32(be32(r.body[0:]))))
+		pol, err := sh.kern.GetPolicy(owner, int(int32(be32(r.body[0:]))))
 		if err != nil {
 			se.sendErr(r.id, err)
 			return
@@ -649,7 +1012,7 @@ func (s *Server) handleFbehavior(se *session, r *request) {
 			se.send(r.id, StatusBadRequest, []byte("set_temppri: want 16-byte body"))
 			return
 		}
-		err := s.kern.SetTempPri(se.owner, fs.FileID(be32(r.body[0:])),
+		err := sh.kern.SetTempPri(owner, sh.local(fs.FileID(be32(r.body[0:]))),
 			int32(be32(r.body[4:])), int32(be32(r.body[8:])), int(int32(be32(r.body[12:]))))
 		if err != nil {
 			se.sendErr(r.id, err)
@@ -657,18 +1020,4 @@ func (s *Server) handleFbehavior(se *session, r *request) {
 		}
 		se.send(r.id, StatusOK, nil)
 	}
-}
-
-func (s *Server) handleStats(se *session, r *request) {
-	st, err := s.kern.OwnerStats(se.owner)
-	if err != nil {
-		se.sendErr(r.id, err)
-		return
-	}
-	body, err := json.Marshal(StatsReply{Session: st, Kernel: s.kern.Snapshot()})
-	if err != nil {
-		se.sendErr(r.id, err)
-		return
-	}
-	se.send(r.id, StatusOK, body)
 }

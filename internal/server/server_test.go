@@ -3,6 +3,7 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net"
 	"net/http/httptest"
 	"strings"
@@ -326,7 +327,7 @@ func TestShutdownRefusesNewWork(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		err := c.Ping()
-		if client.IsRefused(err) {
+		if errors.Is(err, client.ErrRefused) {
 			break
 		}
 		if err != nil {

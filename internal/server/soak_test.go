@@ -33,21 +33,27 @@ func (s *sleepStore) ReadBlock(file, blk int32, dst []byte) error {
 // pipeline requests and disconnect abruptly mid-I/O. Invariant checks run
 // after every session close (startServer forces CheckInvariants), so each
 // revoke is audited while the rest of the fleet keeps hammering the cache.
-// Run under -race via `make check`.
+// Run under -race via `make check`. The sweep covers both release modes
+// at 1 shard and at 4, so every revoke/transfer path is audited per
+// replacement domain: with CheckInvariants forced by startServer, each
+// session close re-verifies the closing shard's kernel while the other
+// shards keep serving.
 func TestSoakConcurrentSessions(t *testing.T) {
-	for _, evict := range []bool{false, true} {
-		evict := evict
-		name := "disown"
-		if evict {
-			name = "evict"
+	for _, shards := range []int{1, 4} {
+		for _, evict := range []bool{false, true} {
+			shards, evict := shards, evict
+			name := "disown"
+			if evict {
+				name = "evict"
+			}
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				soak(t, evict, shards)
+			})
 		}
-		t.Run(name, func(t *testing.T) {
-			soak(t, evict)
-		})
 	}
 }
 
-func soak(t *testing.T, evictOnRelease bool) {
+func soak(t *testing.T, evictOnRelease bool, shards int) {
 	const (
 		sessions   = 16
 		saboteurs  = 4 // extra raw connections that hang up mid-pipeline
@@ -64,6 +70,7 @@ func soak(t *testing.T, evictOnRelease bool) {
 			Store:          &sleepStore{Store: disk.NewMemStore(), readDelay: 100 * time.Microsecond},
 			EvictOnRelease: evictOnRelease,
 		},
+		Shards:      shards,
 		MaxInflight: 8,
 	})
 

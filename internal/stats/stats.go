@@ -32,6 +32,18 @@ func (s *Snapshot) Accumulate(o Snapshot) {
 	s.Sim.Accumulate(o.Sim)
 }
 
+// Aggregate folds a set of per-shard snapshots into one total, with the
+// same add/max semantics as Accumulate. The sharded acfcd kernel reports
+// both views: the aggregate for dashboards that want one number, the
+// per-shard breakdown for spotting imbalance.
+func Aggregate(shards []Snapshot) Snapshot {
+	var total Snapshot
+	for _, s := range shards {
+		total.Accumulate(s)
+	}
+	return total
+}
+
 // WriteMetrics renders the snapshot as Prometheus-style plaintext lines,
 //
 //	<prefix>_cache_hits 123
@@ -40,18 +52,25 @@ func (s *Snapshot) Accumulate(o Snapshot) {
 // one per counter, named by the structs' json tags. Reflection keeps this
 // exposition and the JSON schema a single source of truth.
 func (s Snapshot) WriteMetrics(w io.Writer, prefix string) {
-	writeGroup(w, prefix+"_cache_", reflect.ValueOf(s.Cache))
-	writeGroup(w, prefix+"_sim_", reflect.ValueOf(s.Sim))
+	s.WriteMetricsLabeled(w, prefix, "")
+}
+
+// WriteMetricsLabeled is WriteMetrics with a constant label set appended
+// to every metric name (e.g. `{shard="3"}`), for per-shard sections that
+// must stay mechanically derived from the same schema as the totals.
+func (s Snapshot) WriteMetricsLabeled(w io.Writer, prefix, labels string) {
+	writeGroup(w, prefix+"_cache_", labels, reflect.ValueOf(s.Cache))
+	writeGroup(w, prefix+"_sim_", labels, reflect.ValueOf(s.Sim))
 }
 
 // writeGroup emits one line per field of a flat all-integer struct.
-func writeGroup(w io.Writer, prefix string, v reflect.Value) {
+func writeGroup(w io.Writer, prefix, labels string, v reflect.Value) {
 	t := v.Type()
 	for i := 0; i < t.NumField(); i++ {
 		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
 		if name == "" || name == "-" {
 			name = strings.ToLower(t.Field(i).Name)
 		}
-		fmt.Fprintf(w, "%s%s %d\n", prefix, name, v.Field(i).Int())
+		fmt.Fprintf(w, "%s%s%s %d\n", prefix, name, labels, v.Field(i).Int())
 	}
 }
