@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards serve loadtest experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot serve loadtest experiments charts fuzz clean outputs
 
 all: check
 
@@ -59,6 +59,14 @@ bench-server:
 # kernel shards, each swept over 1/4/16 clients.
 bench-server-shards:
 	$(GO) run ./cmd/acload -selfserve -json -shards 1,4,16 > BENCH_server.json
+
+# The standard sweep plus the hot-block scenario: 16 clients hammering
+# one shared file through a latency-injected store, run once with the
+# synchronous fill path (write-behind off, read-ahead off — the PR 5
+# baseline) and once pipelined (MSHR coalescing + write-behind +
+# read-ahead), appended as a `hot_block` section to BENCH_server.json.
+bench-server-hot:
+	$(GO) run ./cmd/acload -selfserve -json -hot > BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -10,7 +10,8 @@
 //	acfcd -listen unix:/tmp/acfcd.sock [-metrics 127.0.0.1:9090]
 //	      [-cache-mb 6.4] [-alloc lru-sp] [-store mem|/path/to/file]
 //	      [-shards 1] [-idle 2m] [-inflight 32] [-evict-on-close]
-//	      [-check-invariants]
+//	      [-check-invariants] [-writeback-depth 0] [-readahead 0]
+//	      [-store-latency 0] [-store-jitter 0]
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
 // are refused, and the kernel flushes dirty blocks before exit.
@@ -57,6 +58,10 @@ func run() int {
 	invFlag := flag.Bool("check-invariants", false, "run kernel invariant checks after every session close")
 	shardsFlag := flag.Int("shards", 1, "independent kernel shards (files hash to shards at open)")
 	graceFlag := flag.Duration("grace", 10*time.Second, "shutdown drain grace before forcing disconnects")
+	wbDepthFlag := flag.Int("writeback-depth", 0, "async write-behind queue depth per shard (0: synchronous write-backs)")
+	raFlag := flag.Int("readahead", 0, "server-side sequential read-ahead depth (0: disabled)")
+	storeLatFlag := flag.Duration("store-latency", 0, "per-op latency injected into the mem store (benchmarking)")
+	storeJitFlag := flag.Duration("store-jitter", 0, "max extra random latency per mem-store op")
 	flag.Parse()
 
 	alloc, ok := allocNames[*allocFlag]
@@ -66,12 +71,20 @@ func run() int {
 	}
 	var store disk.Store
 	if *storeFlag != "mem" {
+		if *storeLatFlag > 0 || *storeJitFlag > 0 {
+			fmt.Fprintln(os.Stderr, "acfcd: -store-latency/-store-jitter only apply to -store mem")
+			return 2
+		}
 		fst, err := disk.NewFileStore(*storeFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acfcd: store: %v\n", err)
 			return 1
 		}
 		store = fst
+	} else if *storeLatFlag > 0 || *storeJitFlag > 0 {
+		ms := disk.NewMemStore()
+		ms.SetLatency(*storeLatFlag, *storeJitFlag)
+		store = ms
 	}
 
 	srv := server.New(server.Config{
@@ -80,9 +93,12 @@ func run() int {
 			Alloc:          alloc,
 			Store:          store,
 			EvictOnRelease: *evictFlag,
+			ReadAhead:      *raFlag > 0,
+			ReadAheadDepth: *raFlag,
 			WallClock:      true,
 		},
 		Shards:          *shardsFlag,
+		WritebackDepth:  *wbDepthFlag,
 		MaxInflight:     *inflightFlag,
 		IdleTimeout:     *idleFlag,
 		CheckInvariants: *invFlag,

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/expt"
 	"repro/internal/fs"
 	"repro/internal/server"
@@ -94,6 +95,32 @@ type jsonReport struct {
 	CacheMB     float64      `json:"cache_mb"`
 	Events      int          `json:"events_per_client"`
 	ShardSweeps []shardSweep `json:"shard_sweeps"`
+	HotBlock    *hotReport   `json:"hot_block,omitempty"`
+}
+
+// hotReport is the -hot section: the shared-hot-file contention scenario
+// run under the synchronous (PR 5 baseline) kernel configuration and
+// again with the fill pipeline (write-behind + read-ahead) on, against
+// the same latency-injected store. The FillStats in each run's kernel
+// snapshot are the evidence the pipeline works: coalesced_misses > 0 and
+// store_reads < cache misses.
+type hotReport struct {
+	Clients        int      `json:"clients"`
+	FileBlocks     int      `json:"file_blocks"`
+	Rounds         int      `json:"rounds"`
+	WritePct       int      `json:"write_pct"`
+	StoreLatencyUs float64  `json:"store_latency_us"`
+	StoreJitterUs  float64  `json:"store_jitter_us"`
+	Runs           []hotRun `json:"runs"`
+}
+
+// hotRun is one kernel configuration's measurement in the hot scenario.
+type hotRun struct {
+	Config         string         `json:"config"`
+	WritebackDepth int            `json:"writeback_depth"`
+	ReadAheadDepth int            `json:"readahead_depth"`
+	Result         sweepResult    `json:"result"`
+	Kernel         stats.Snapshot `json:"kernel"`
 }
 
 func run() int {
@@ -107,6 +134,7 @@ func run() int {
 	nodataFlag := flag.Bool("nodata", false, "suppress block bytes in read responses")
 	selfFlag := flag.Bool("selfserve", false, "start an in-process server instead of dialing -addr")
 	jsonFlag := flag.Bool("json", false, "sweep 1/4/16 clients per shard count and emit JSON (implies quiet tables)")
+	hotFlag := flag.Bool("hot", false, "also run the shared-hot-file contention scenario (requires -selfserve): synchronous vs pipelined kernel over a slow store")
 	flag.Parse()
 
 	mk, ok := expt.Registry[*appFlag]
@@ -126,6 +154,10 @@ func run() int {
 	}
 	if *shardsFlag != "" && !*selfFlag {
 		fmt.Fprintln(os.Stderr, "acload: -shards requires -selfserve (an external server owns its shard count)")
+		return 2
+	}
+	if *hotFlag && !*selfFlag {
+		fmt.Fprintln(os.Stderr, "acload: -hot requires -selfserve (the scenario controls the kernel configuration)")
 		return 2
 	}
 	shardCounts := []int{1}
@@ -228,6 +260,24 @@ func run() int {
 		report.ShardSweeps = append(report.ShardSweeps, ss)
 	}
 
+	if *hotFlag {
+		hr, err := runHot(hotParams{
+			clients:  16,
+			blocks:   2048,
+			rounds:   2,
+			writePct: 10,
+			latency:  300 * time.Microsecond,
+			jitter:   100 * time.Microsecond,
+			cacheMB:  *cacheFlag,
+			alloc:    alloc,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acload: hot: %v\n", err)
+			return 1
+		}
+		report.HotBlock = hr
+	}
+
 	if *jsonFlag {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -237,6 +287,191 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// hotParams parameterizes the shared-hot-file contention scenario.
+type hotParams struct {
+	clients  int
+	blocks   int // shared file size; larger than the cache, so scans evict
+	rounds   int
+	writePct int // partial writes mixed into the scan (dirty victims)
+	latency  time.Duration
+	jitter   time.Duration
+	cacheMB  float64
+	alloc    cache.Alloc
+}
+
+// runHot measures the hot-block contention scenario: every client scans
+// the same file (all of which lives in one shard, by file-affinity
+// routing), so concurrent demand misses pile onto the same blocks and
+// the mixed-in writes evict dirty victims under load. The store sleeps
+// per operation, so the configurations differ where it matters: the
+// synchronous baseline pays every write-back inside the kernel loop and
+// every miss at full store latency; the pipelined kernel queues
+// write-backs to the flusher and hides read latency behind read-ahead.
+func runHot(p hotParams) (*hotReport, error) {
+	hr := &hotReport{
+		Clients:        p.clients,
+		FileBlocks:     p.blocks,
+		Rounds:         p.rounds,
+		WritePct:       p.writePct,
+		StoreLatencyUs: float64(p.latency) / float64(time.Microsecond),
+		StoreJitterUs:  float64(p.jitter) / float64(time.Microsecond),
+	}
+	configs := []struct {
+		name    string
+		wbDepth int
+		raDepth int
+	}{
+		{"synchronous", 0, 0}, // the PR 5 kernel: inline write-backs, no read-ahead
+		{"pipelined", 64, 4},
+	}
+	for _, cfg := range configs {
+		ms := disk.NewMemStore()
+		ms.SetLatency(p.latency, p.jitter)
+		srv := server.New(server.Config{
+			Kernel: core.LiveConfig{
+				CacheBytes:     core.MB(p.cacheMB),
+				Alloc:          p.alloc,
+				Store:          ms,
+				ReadAhead:      cfg.raDepth > 0,
+				ReadAheadDepth: cfg.raDepth,
+				WallClock:      true,
+			},
+			Shards:         1,
+			WritebackDepth: cfg.wbDepth,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve(ln)
+		res, err := hotSweep(ln.Addr().String(), p)
+		run := hotRun{Config: cfg.name, WritebackDepth: cfg.wbDepth, ReadAheadDepth: cfg.raDepth, Result: res}
+		if m, ok := srv.Metrics(); ok {
+			run.Kernel = m.Kernel
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		srv.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"acload: hot %-11s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs (coalesced %d, store reads %d, wb queued %d, prefetch hits %d)\n",
+			cfg.name, p.clients, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio,
+			res.P50us, res.P90us, res.P99us,
+			run.Kernel.Fill.CoalescedMisses, run.Kernel.Fill.StoreReads,
+			run.Kernel.Fill.WritebacksQueued, run.Kernel.Fill.PrefetchHits)
+		hr.Runs = append(hr.Runs, run)
+	}
+	return hr, nil
+}
+
+// hotSweep drives p.clients concurrent sessions through the shared scan
+// and aggregates the wire measurements, sweepResult-shaped.
+func hotSweep(addr string, p hotParams) (sweepResult, error) {
+	setup, err := client.Dial("tcp", addr)
+	if err != nil {
+		return sweepResult{}, err
+	}
+	f, err := setup.Create("hot/shared", 0, p.blocks)
+	if err != nil {
+		setup.Close()
+		return sweepResult{}, err
+	}
+	setup.Close()
+	_ = f
+
+	type out struct {
+		st  replayStats
+		err error
+	}
+	outs := make([]out, p.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < p.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i].st, outs[i].err = hotClient(addr, i, p)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := sweepResult{Clients: p.clients, Seconds: elapsed.Seconds()}
+	var hits, accesses int64
+	var all []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, fmt.Errorf("client %d: %w", i, outs[i].err)
+		}
+		st := &outs[i].st
+		res.Requests += st.requests
+		hits += st.hits
+		accesses += st.hits + st.misses
+		all = append(all, st.latencies...)
+	}
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Requests) / res.Seconds
+	}
+	if accesses > 0 {
+		res.HitRatio = float64(hits) / float64(accesses)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50us = percentileUs(all, 0.50)
+	res.P90us = percentileUs(all, 0.90)
+	res.P99us = percentileUs(all, 0.99)
+	return res, nil
+}
+
+// hotClient is one session's share of the hot scan: sequential rounds
+// over the shared file with partial writes mixed in by a deterministic
+// per-client stream, so every run issues the same request mix.
+func hotClient(addr string, idx int, p hotParams) (replayStats, error) {
+	var st replayStats
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		return st, err
+	}
+	defer c.Close()
+	f, err := c.Open("hot/shared")
+	if err != nil {
+		return st, err
+	}
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(idx + i)
+	}
+	rng := uint64(idx)*0x9e3779b97f4a7c15 + 1
+	st.latencies = make([]time.Duration, 0, p.rounds*p.blocks)
+	for r := 0; r < p.rounds; r++ {
+		for blk := int32(0); int(blk) < p.blocks; blk++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			st.requests++
+			t0 := time.Now()
+			var hit bool
+			if int(rng%100) < p.writePct {
+				hit, err = c.Write(f.ID, blk, 0, payload)
+			} else {
+				_, hit, err = c.Read(f.ID, blk, 0, core.BlockSize)
+			}
+			st.latencies = append(st.latencies, time.Since(t0))
+			if err != nil {
+				return st, err
+			}
+			if hit {
+				st.hits++
+			} else {
+				st.misses++
+			}
+		}
+	}
+	return st, nil
 }
 
 func parseShards(s string) ([]int, error) {

@@ -46,19 +46,50 @@ var (
 	ErrControlled   = errors.New("core: owner already controls its cache")
 	ErrNotFound     = errors.New("core: no such file")
 	ErrOutOfRange   = errors.New("core: block out of range")
+	// ErrWriteBack wraps a store write failure during victim write-back.
+	// The kernel never panics on one: the failure is counted, the block
+	// leaves the cache, and the request (or release) that forced the
+	// eviction carries the error back to its session.
+	ErrWriteBack = errors.New("core: write-back failed")
 )
 
-// Fill is one in-flight demand read. The kernel allocates it, the I/O
-// executor (LiveConfig.StartFill) fills Data or Err, and hands it back to
-// the kernel loop, which applies it via CompleteFill.
+// Fill is one in-flight block read — the kernel's miss-status-holding
+// register. The kernel allocates it, the I/O executor
+// (LiveConfig.StartFill) fills Data or Err, and hands it back to the
+// kernel loop, which applies it via CompleteFill. Concurrent misses on
+// the same block coalesce into one Fill through the waiter list: one
+// store read regardless of fan-in.
 type Fill struct {
 	ID   cache.BlockID
 	Data []byte // BlockSize bytes; the executor reads the block into it
 	Err  error  // set by the executor on I/O failure
 
-	buf     *cache.Buf
-	done    bool
-	waiters []func(data []byte, err error)
+	buf      *cache.Buf
+	done     bool
+	prefetch bool // issued by read-ahead, no demand waiter yet
+	waiters  []func(data []byte, err error)
+}
+
+// WriteBack is one dirty victim handed to the asynchronous write-behind
+// queue. The kernel allocates it (Data is the victim's bytes, immutable
+// from then on), the executor (LiveConfig.StartWriteBack) arranges for
+// the store write and for CompleteWriteBack(wb) to re-enter the kernel
+// goroutine with Err set on failure.
+type WriteBack struct {
+	ID    cache.BlockID
+	Data  []byte
+	Owner int   // owner to charge the WriteBacks counter to
+	Err   error // set by the executor on store write failure
+
+	// Conflict reports that an older write-back for the same block was
+	// still pending when this one was enqueued. The executor must not
+	// let this write reach the store before the older one (a reordering
+	// would persist stale bytes); the kernel's pending table always
+	// forwards the newest data, so queue-order execution is sufficient.
+	Conflict bool
+	// Stalled marks a write-back the executor degraded to a synchronous
+	// inline write because its queue was full (the backpressure rule).
+	Stalled bool
 }
 
 // LiveConfig configures a Live kernel.
@@ -87,6 +118,22 @@ type LiveConfig struct {
 	// means fills run synchronously inline — the mode the oracle test
 	// and any single-threaded embedding use.
 	StartFill func(fl *Fill)
+
+	// StartWriteBack, when non-nil, executes dirty-victim write-backs
+	// asynchronously: it must arrange for the store write and for
+	// CompleteWriteBack(wb) to then be called on the kernel goroutine.
+	// Nil means write-backs run synchronously inline at eviction — with
+	// a nil hook the kernel's request/IO ordering is byte-identical to
+	// the pre-write-behind kernel, which is what the oracle test pins.
+	StartWriteBack func(wb *WriteBack)
+
+	// ReadAhead enables server-side sequential read-ahead: a demand read
+	// that extends a per-owner sequential run prefetches the next
+	// ReadAheadDepth blocks through the same fill path, so later demand
+	// misses land on in-flight or completed prefetches. Off by default —
+	// prefetch I/O is untraced, so deterministic replays must not see it.
+	ReadAhead      bool
+	ReadAheadDepth int // blocks kept in flight ahead of a run (default 2)
 
 	// EvictOnRelease makes ReleaseOwner evict the owner's blocks
 	// (writing back dirty ones) instead of disowning them in place.
@@ -172,6 +219,9 @@ type liveOwner struct {
 	live  bool
 	mgr   *acm.Manager
 	stats ProcStats
+	// lastRead is the per-file sequential-run detector for read-ahead,
+	// per owner exactly as the DES keeps it per process.
+	lastRead map[fs.FileID]int32
 }
 
 // Live is the real-clock kernel: one buffer cache plus ACM, a file
@@ -193,11 +243,26 @@ type Live struct {
 	// data iff it is cached and not mid-fill; the bytes move to the
 	// store on write-back and are dropped on clean eviction.
 	data map[cache.BlockID][]byte
-	// fills tracks in-flight demand reads by their buffer. A buffer
-	// evicted mid-fill stays in the executor's hands (ValidAt remains
-	// IOPending — the same leak-to-GC rule the DES uses); its fill
-	// completes into waiters only.
-	fills map[*cache.Buf]*Fill
+	// mshr is the miss-status-holding-register table: the in-flight fill
+	// per block. Concurrent requests for a mid-fill block join its
+	// waiter list instead of issuing another store read. A buffer
+	// evicted mid-fill detaches its entry (the fill stays in the
+	// executor's hands — ValidAt remains IOPending, the same leak-to-GC
+	// rule the DES uses — and completes into waiters only); a fresh miss
+	// on that block starts a fresh fill, so a fill never outlives the
+	// write-back ordering of its bytes.
+	mshr map[cache.BlockID]*Fill
+	// pendingWB is the newest queued-but-unwritten write-back per block.
+	// A fill for a block found here copies the bytes instead of reading
+	// the store — the queue holds fresher data than the store until the
+	// flusher lands it.
+	pendingWB map[cache.BlockID]*WriteBack
+	// prefetched marks blocks brought in by read-ahead and not yet
+	// touched by a demand access, for the PrefetchHits counter.
+	prefetched map[cache.BlockID]bool
+
+	fill          stats.FillStats
+	wbOutstanding int64 // write-backs enqueued, not yet completed
 }
 
 // NewLive builds a Live kernel.
@@ -209,12 +274,14 @@ func NewLive(cfg LiveConfig) *Live {
 		cfg.DiskBlocks = []int{disk.RZ56.Blocks(), disk.RZ26.Blocks()}
 	}
 	l := &Live{
-		cfg:   cfg,
-		store: cfg.Store,
-		fsys:  fs.New(fs.Config{DiskBlocks: cfg.DiskBlocks}),
-		epoch: time.Now(),
-		data:  make(map[cache.BlockID][]byte),
-		fills: make(map[*cache.Buf]*Fill),
+		cfg:        cfg,
+		store:      cfg.Store,
+		fsys:       fs.New(fs.Config{DiskBlocks: cfg.DiskBlocks}),
+		epoch:      time.Now(),
+		data:       make(map[cache.BlockID][]byte),
+		mshr:       make(map[cache.BlockID]*Fill),
+		pendingWB:  make(map[cache.BlockID]*WriteBack),
+		prefetched: make(map[cache.BlockID]bool),
 	}
 	l.ctl = acm.New(l.Now, cfg.ACMLimits)
 	l.bc = cache.New(cache.Config{
@@ -251,13 +318,18 @@ func (l *Live) Cache() *cache.Cache { return l.bc }
 // Store exposes the block store, for the fill executor.
 func (l *Live) Store() disk.Store { return l.store }
 
-// PendingFills reports the number of in-flight demand reads.
-func (l *Live) PendingFills() int { return len(l.fills) }
+// PendingFills reports the number of in-flight block reads (demand and
+// prefetch).
+func (l *Live) PendingFills() int { return len(l.mshr) }
+
+// PendingWriteBacks reports the number of write-backs handed to the
+// asynchronous executor and not yet completed.
+func (l *Live) PendingWriteBacks() int { return int(l.wbOutstanding) }
 
 // Snapshot captures the kernel counters. Live has no DES engine, so the
-// Sim block stays zero.
+// Sim block stays zero; Fill carries the miss/write-back pipeline.
 func (l *Live) Snapshot() stats.Snapshot {
-	return stats.Snapshot{Cache: l.bc.Stats()}
+	return stats.Snapshot{Cache: l.bc.Stats(), Fill: l.fill}
 }
 
 // --- owner lifecycle ---
@@ -301,12 +373,18 @@ func (l *Live) ReleaseOwner(id int) (ProcStats, error) {
 		o.mgr = nil
 	}
 	if l.cfg.EvictOnRelease {
-		l.bc.EvictOwner(id, func(v cache.Victim) { l.flushVictim(&v) })
+		var firstErr error
+		l.bc.EvictOwner(id, func(v cache.Victim) {
+			if werr := l.flushVictim(&v); werr != nil && firstErr == nil {
+				firstErr = werr
+			}
+		})
+		err = firstErr
 	} else {
 		l.bc.DisownOwner(id)
 	}
 	o.live = false
-	return o.stats, nil
+	return o.stats, err
 }
 
 func (l *Live) charge(owner int, f func(*ProcStats)) {
@@ -358,6 +436,11 @@ func (l *Live) Remove(owner int, name string) error {
 			delete(l.data, id)
 		}
 	}
+	for id := range l.prefetched {
+		if id.File == f.ID() {
+			delete(l.prefetched, id)
+		}
+	}
 	return l.fsys.Remove(name)
 }
 
@@ -392,24 +475,34 @@ func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done fun
 	id := cache.BlockID{File: fid, Num: blk}
 	if b := l.bc.LookupBy(id, owner, off, size); b != nil {
 		o.stats.Hits++
+		l.notePrefetchHit(id)
 		if b.Busy(now) {
-			// Fill still in flight: join it, as waitValid would.
-			if fl := l.fills[b]; fl != nil {
+			// Fill still in flight: coalesce onto it, as waitValid would.
+			if fl := l.mshr[id]; fl != nil && fl.buf == b {
+				l.fill.CoalescedMisses++
 				l.addWaiter(fl, func(data []byte, err error) { done(data, true, err) })
+				l.noteSequential(o, f, blk, now)
 				return false
 			}
 		}
 		done(l.data[id], true, nil)
+		l.noteSequential(o, f, blk, now)
 		return true
 	}
 	o.stats.Misses++
 	buf, victim := l.bc.Insert(id, owner, now)
-	l.flushVictim(victim)
+	werr := l.flushVictim(victim)
 	buf.Referenced = true
 	o.stats.DemandReads++
 	fl := l.newFill(buf)
-	l.addWaiter(fl, func(data []byte, err error) { done(data, false, err) })
+	l.addWaiter(fl, func(data []byte, err error) {
+		if err == nil {
+			err = werr // the eviction this miss forced lost data
+		}
+		done(data, false, err)
+	})
 	l.dispatchFill(fl)
+	l.noteSequential(o, f, blk, now)
 	return fl.done
 }
 
@@ -449,8 +542,10 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 	b := l.bc.LookupBy(id, owner, off, len(payload))
 	if b != nil {
 		o.stats.Hits++
+		l.notePrefetchHit(id)
 		if b.Busy(now) {
-			if fl := l.fills[b]; fl != nil {
+			if fl := l.mshr[id]; fl != nil && fl.buf == b {
+				l.fill.CoalescedMisses++
 				l.addWaiter(fl, func(data []byte, err error) {
 					done(true, l.applyWrite(b, fl, off, payload, err))
 				})
@@ -464,13 +559,16 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 	}
 	o.stats.Misses++
 	b, victim := l.bc.Insert(id, owner, now)
-	l.flushVictim(victim)
+	werr := l.flushVictim(victim)
 	b.Referenced = true
 	if !whole && !grew {
 		// Read-modify-write: fetch the rest of the block first.
 		o.stats.DemandReads++
 		fl := l.newFill(b)
 		l.addWaiter(fl, func(data []byte, err error) {
+			if err == nil {
+				err = werr
+			}
 			done(false, l.applyWrite(b, fl, off, payload, err))
 		})
 		l.dispatchFill(fl)
@@ -480,14 +578,16 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 	copy(block[off:], payload)
 	l.data[id] = block
 	l.bc.MarkDirty(b, l.Now())
-	done(false, nil)
+	done(false, werr)
 	return true
 }
 
 // applyWrite lands a write that was waiting on a fill. The payload is
 // copied into the fill's block (the same backing array CompleteFill
 // installed, when the buffer survived); if the buffer was evicted
-// mid-fill the bytes write through to the store so they are not lost.
+// mid-fill the bytes write through via the write-back path — never the
+// store directly, so a queued write-behind of the same block cannot land
+// after (and clobber) this fresher data.
 func (l *Live) applyWrite(b *cache.Buf, fl *Fill, off int, payload []byte, err error) error {
 	if err != nil {
 		return err
@@ -497,15 +597,15 @@ func (l *Live) applyWrite(b *cache.Buf, fl *Fill, off int, payload []byte, err e
 		l.bc.MarkDirty(b, l.Now())
 		return nil
 	}
-	return l.store.WriteBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+	return l.writeBack(fl.ID, fl.Data, cache.NoOwner)
 }
 
-// --- fills and write-back ---
+// --- the fill pipeline: MSHR, write-behind, read-ahead ---
 
 func (l *Live) newFill(buf *cache.Buf) *Fill {
 	buf.ValidAt = ioPending
 	fl := &Fill{ID: buf.ID, Data: make([]byte, BlockSize), buf: buf}
-	l.fills[buf] = fl
+	l.mshr[buf.ID] = fl
 	return fl
 }
 
@@ -517,7 +617,18 @@ func (l *Live) addWaiter(fl *Fill, fn func(data []byte, err error)) {
 	fl.waiters = append(fl.waiters, fn)
 }
 
+// dispatchFill starts a fill's I/O. A block whose newest bytes are still
+// sitting in the write-behind queue is served straight from that buffer —
+// the store's copy is stale until the flusher lands it, and the copy
+// costs no I/O at all.
 func (l *Live) dispatchFill(fl *Fill) {
+	if wb := l.pendingWB[fl.ID]; wb != nil {
+		copy(fl.Data, wb.Data)
+		l.fill.WritebackHits++
+		l.CompleteFill(fl)
+		return
+	}
+	l.fill.StoreReads++
 	if sf := l.cfg.StartFill; sf != nil {
 		sf(fl)
 		return
@@ -526,16 +637,21 @@ func (l *Live) dispatchFill(fl *Fill) {
 	l.CompleteFill(fl)
 }
 
-// CompleteFill applies a finished demand read: install the bytes (or
+// CompleteFill applies a finished block read: install the bytes (or
 // drop the buffer, on error), then run every waiter. Must be called on
 // the kernel goroutine. A buffer evicted while its fill was in flight is
 // not re-installed — its waiters still get the bytes, and the buffer
-// stays IOPending, exactly the leak-to-GC discipline of the DES.
+// stays IOPending, exactly the leak-to-GC discipline of the DES. The
+// MSHR entry is removed only if it is still this fill's: a fresh miss
+// after a mid-fill eviction owns the slot now.
 func (l *Live) CompleteFill(fl *Fill) {
-	delete(l.fills, fl.buf)
+	if l.mshr[fl.ID] == fl {
+		delete(l.mshr, fl.ID)
+	}
 	if l.bc.Peek(fl.ID) == fl.buf {
 		if fl.Err != nil {
 			l.bc.Drop(fl.buf)
+			delete(l.prefetched, fl.ID)
 		} else {
 			l.data[fl.ID] = fl.Data
 			fl.buf.ValidAt = 0
@@ -549,32 +665,139 @@ func (l *Live) CompleteFill(fl *Fill) {
 	}
 }
 
-// flushVictim writes back an evicted dirty block, synchronously: the
-// kernel loop owns both the cache and the victim's bytes, and a
-// synchronous write is what keeps fills (which are concurrent) and
-// write-backs (which would race them) trivially ordered.
-func (l *Live) flushVictim(v *cache.Victim) {
+// flushVictim hands an evicted dirty block to the write-back path.
+func (l *Live) flushVictim(v *cache.Victim) error {
 	if v == nil {
-		return
+		return nil
 	}
+	delete(l.prefetched, v.ID)
 	data := l.data[v.ID]
 	delete(l.data, v.ID)
 	if !v.Dirty || data == nil {
+		return nil
+	}
+	return l.writeBack(v.ID, data, v.Owner)
+}
+
+// writeBack persists one evicted block's bytes. With a StartWriteBack
+// executor the write is asynchronous: the kernel records the newest
+// pending bytes per block (dispatchFill forwards from them) and the
+// executor re-enters through CompleteWriteBack. Without one the write
+// runs inline, and a failure is surfaced — counted, wrapped in
+// ErrWriteBack, never a panic — to the request that forced the eviction.
+func (l *Live) writeBack(id cache.BlockID, data []byte, owner int) error {
+	if swb := l.cfg.StartWriteBack; swb != nil {
+		wb := &WriteBack{ID: id, Data: data, Owner: owner}
+		_, wb.Conflict = l.pendingWB[id]
+		l.pendingWB[id] = wb
+		l.wbOutstanding++
+		l.fill.WritebacksQueued++
+		if l.wbOutstanding > l.fill.WritebackQueueHighWater {
+			l.fill.WritebackQueueHighWater = l.wbOutstanding
+		}
+		swb(wb)
+		return nil
+	}
+	if err := l.store.WriteBlock(int32(id.File), id.Num, data); err != nil {
+		l.fill.WritebackErrors++
+		return fmt.Errorf("%w: block %v: %v", ErrWriteBack, id, err)
+	}
+	l.charge(owner, func(st *ProcStats) { st.WriteBacks++ })
+	return nil
+}
+
+// CompleteWriteBack applies a finished asynchronous write-back. Must be
+// called on the kernel goroutine. The pending entry is removed only if
+// it is still this write-back's: a newer eviction of the same block owns
+// the forwarding slot (and the executor's queue order guarantees its
+// bytes reach the store last).
+func (l *Live) CompleteWriteBack(wb *WriteBack) {
+	if l.pendingWB[wb.ID] == wb {
+		delete(l.pendingWB, wb.ID)
+	}
+	l.wbOutstanding--
+	if wb.Stalled {
+		l.fill.WritebackStalls++
+	}
+	if wb.Err != nil {
+		l.fill.WritebackErrors++
 		return
 	}
-	if err := l.store.WriteBlock(int32(v.ID.File), v.ID.Num, data); err != nil {
-		// The victim is already out of the cache; dropping the write
-		// would lose data silently, so this is fatal. A store that can
-		// fail transiently belongs behind a retrying wrapper.
-		panic(fmt.Sprintf("core: write-back of %v failed: %v", v.ID, err))
+	l.charge(wb.Owner, func(st *ProcStats) { st.WriteBacks++ })
+}
+
+// notePrefetchHit counts the first demand touch of a prefetched block.
+func (l *Live) notePrefetchHit(id cache.BlockID) {
+	if l.prefetched[id] {
+		delete(l.prefetched, id)
+		l.fill.PrefetchHits++
 	}
-	l.charge(v.Owner, func(st *ProcStats) { st.WriteBacks++ })
+}
+
+// noteSequential updates the per-owner sequential detector and issues
+// read-ahead once two consecutive blocks have been read, keeping up to
+// ReadAheadDepth blocks in flight — the same detection rule as the DES
+// kernel's noteSequential and internal/disk's track-buffer model (a
+// request extending the previous address streams; anything else seeks).
+// Prefetch fills go through the MSHR like any other, so a demand miss
+// that catches up simply coalesces onto the in-flight prefetch.
+func (l *Live) noteSequential(o *liveOwner, f *fs.File, blk int32, now sim.Time) {
+	if !l.cfg.ReadAhead {
+		return
+	}
+	if o.lastRead == nil {
+		o.lastRead = make(map[fs.FileID]int32)
+	}
+	last, seen := o.lastRead[f.ID()]
+	o.lastRead[f.ID()] = blk
+	if !seen || blk != last+1 {
+		return
+	}
+	depth := l.cfg.ReadAheadDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	owner := -1
+	for i := range l.owners {
+		if l.owners[i] == o {
+			owner = i
+			break
+		}
+	}
+	for i := int32(1); i <= int32(depth); i++ {
+		next := blk + i
+		if int(next) >= f.Size() {
+			return
+		}
+		id := cache.BlockID{File: f.ID(), Num: next}
+		if l.bc.Peek(id) != nil {
+			continue
+		}
+		if l.mshr[id] != nil {
+			// A detached fill (mid-fill eviction) is still in flight;
+			// starting another read for the block would race it.
+			continue
+		}
+		buf, victim := l.bc.Insert(id, owner, now)
+		l.flushVictim(victim) // a prefetch has no requester to hand an error
+		fl := l.newFill(buf)
+		fl.prefetch = true
+		l.prefetched[id] = true
+		o.stats.Prefetches++
+		l.fill.PrefetchIssued++
+		l.dispatchFill(fl)
+	}
 }
 
 // FlushDirty writes back every dirty block older than cutoff (pass
-// MaxTime for all), the update-daemon analogue. Returns blocks written.
-func (l *Live) FlushDirty(cutoff sim.Time) int {
+// MaxTime for all), the update-daemon analogue. Writes run synchronously
+// — callers flush at quiesce points (shutdown, after the write-behind
+// queue has drained). Returns blocks written and the first store error;
+// later blocks are still attempted so one bad write cannot strand the
+// rest dirty.
+func (l *Live) FlushDirty(cutoff sim.Time) (int, error) {
 	n := 0
+	var firstErr error
 	for _, b := range l.bc.DirtyOlderThan(cutoff) {
 		data := l.data[b.ID]
 		if data == nil {
@@ -582,22 +805,30 @@ func (l *Live) FlushDirty(cutoff sim.Time) int {
 			continue
 		}
 		if err := l.store.WriteBlock(int32(b.ID.File), b.ID.Num, data); err != nil {
-			panic(fmt.Sprintf("core: write-back of %v failed: %v", b.ID, err))
+			l.fill.WritebackErrors++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: block %v: %v", ErrWriteBack, b.ID, err)
+			}
+			continue
 		}
 		l.bc.Clean(b)
 		l.charge(b.Owner, func(st *ProcStats) { st.WriteBacks++ })
 		n++
 	}
-	return n
+	return n, firstErr
 }
 
 // MaxTime is a cutoff that matches every dirty block.
 const MaxTime = sim.Time(math.MaxInt64)
 
-// Close flushes all dirty blocks and closes the store.
+// Close flushes all dirty blocks and closes the store. Any asynchronous
+// write-backs must have drained first (the server's shutdown barrier).
 func (l *Live) Close() error {
-	l.FlushDirty(MaxTime)
-	return l.store.Close()
+	_, err := l.FlushDirty(MaxTime)
+	if cerr := l.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // --- the fbehavior surface ---
@@ -716,8 +947,8 @@ func (l *Live) CheckInvariants() {
 			panic(fmt.Sprintf("core: GlobalOrder lists %v but Peek misses", id))
 		}
 		if b.Busy(now) {
-			if l.fills[b] == nil {
-				panic(fmt.Sprintf("core: cached busy block %v has no fill", id))
+			if fl := l.mshr[id]; fl == nil || fl.buf != b {
+				panic(fmt.Sprintf("core: cached busy block %v has no MSHR entry", id))
 			}
 		} else if l.data[id] == nil {
 			panic(fmt.Sprintf("core: cached valid block %v has no data", id))
@@ -733,9 +964,20 @@ func (l *Live) CheckInvariants() {
 			panic(fmt.Sprintf("core: data held for uncached block %v", id))
 		}
 	}
-	for buf, fl := range l.fills {
-		if l.bc.Peek(fl.ID) == buf && !buf.Busy(now) {
+	for id, fl := range l.mshr {
+		if id != fl.ID {
+			panic(fmt.Sprintf("core: MSHR entry for %v holds fill for %v", id, fl.ID))
+		}
+		if l.bc.Peek(fl.ID) == fl.buf && !fl.buf.Busy(now) {
 			panic(fmt.Sprintf("core: cached block %v has a fill but is not busy", fl.ID))
+		}
+	}
+	for id, wb := range l.pendingWB {
+		if id != wb.ID {
+			panic(fmt.Sprintf("core: pending write-back for %v holds block %v", id, wb.ID))
+		}
+		if wb.Data == nil {
+			panic(fmt.Sprintf("core: pending write-back for %v has no data", id))
 		}
 	}
 }

@@ -1,0 +1,359 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+// failStore fails writes on demand, for the error-surfacing tests.
+type failStore struct {
+	disk.Store
+	failWrites bool
+}
+
+var errBoom = errors.New("store on fire")
+
+func (s *failStore) WriteBlock(file, blk int32, src []byte) error {
+	if s.failWrites {
+		return errBoom
+	}
+	return s.Store.WriteBlock(file, blk, src)
+}
+
+// TestLiveMissCoalescing pins the MSHR protocol at the kernel level: two
+// requests for the same cold block share one fill — one store read, one
+// executor hand-off — and completion fans the bytes out to both, the
+// first as a miss and the joiner as a hit.
+func TestLiveMissCoalescing(t *testing.T) {
+	var fills []*core.Fill
+	l := core.NewLive(core.LiveConfig{
+		CacheBytes: 8 * core.BlockSize,
+		Alloc:      cache.LRUSP,
+		StartFill:  func(fl *core.Fill) { fills = append(fills, fl) },
+	})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		data []byte
+		hit  bool
+		err  error
+		done bool
+	}
+	var r1, r2 result
+	if done := l.Read(ow, f.ID(), 0, 0, 8, func(data []byte, hit bool, err error) {
+		r1 = result{data, hit, err, true}
+	}); done {
+		t.Fatal("first read completed synchronously with a manual executor")
+	}
+	if len(fills) != 1 {
+		t.Fatalf("first miss dispatched %d fills, want 1", len(fills))
+	}
+	if done := l.Read(ow, f.ID(), 0, 0, 8, func(data []byte, hit bool, err error) {
+		r2 = result{data, hit, err, true}
+	}); done {
+		t.Fatal("coalesced read completed before the fill")
+	}
+	if len(fills) != 1 {
+		t.Fatalf("coalescing dispatched a second fill (%d total)", len(fills))
+	}
+	if got := l.Snapshot().Fill; got.StoreReads != 1 || got.CoalescedMisses != 1 {
+		t.Errorf("fill stats = %+v, want 1 store read / 1 coalesced", got)
+	}
+	if l.PendingFills() != 1 {
+		t.Errorf("PendingFills = %d, want 1", l.PendingFills())
+	}
+
+	want := bytes.Repeat([]byte{0x5a}, core.BlockSize)
+	copy(fills[0].Data, want)
+	l.CompleteFill(fills[0])
+
+	if !r1.done || !r2.done {
+		t.Fatalf("waiters not run: r1 %v r2 %v", r1.done, r2.done)
+	}
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("waiter errors: %v / %v", r1.err, r2.err)
+	}
+	if r1.hit || !r2.hit {
+		t.Errorf("hit flags: first %v (want miss), joiner %v (want hit)", r1.hit, r2.hit)
+	}
+	if !bytes.Equal(r1.data, want) || !bytes.Equal(r2.data, want) {
+		t.Error("waiters saw different or wrong bytes")
+	}
+	l.CheckInvariants()
+}
+
+// TestLiveWritebackForwarding drives the write-behind protocol with a
+// manual executor: a dirty victim's bytes sit in the pending table, a
+// fill for that block copies them instead of reading the (stale) store,
+// a re-dirtied re-evicted block is flagged Conflict, and completions
+// settle the accounting.
+func TestLiveWritebackForwarding(t *testing.T) {
+	var wbs []*core.WriteBack
+	store := disk.NewMemStore()
+	l := core.NewLive(core.LiveConfig{
+		CacheBytes:     2 * core.BlockSize,
+		Alloc:          cache.LRUSP,
+		Store:          store,
+		StartWriteBack: func(wb *core.WriteBack) { wbs = append(wbs, wb) },
+	})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blockOf := func(fill byte) []byte { return bytes.Repeat([]byte{fill}, core.BlockSize) }
+	write := func(blk int32, fill byte) {
+		t.Helper()
+		var werr error
+		l.Write(ow, f.ID(), blk, 0, blockOf(fill), func(hit bool, err error) { werr = err })
+		if werr != nil {
+			t.Fatalf("write blk %d: %v", blk, werr)
+		}
+	}
+	read := func(blk int32) []byte {
+		t.Helper()
+		var got []byte
+		var rerr error
+		l.Read(ow, f.ID(), blk, 0, core.BlockSize, func(data []byte, hit bool, err error) {
+			got, rerr = data, err
+		})
+		if rerr != nil {
+			t.Fatalf("read blk %d: %v", blk, rerr)
+		}
+		return got
+	}
+
+	write(0, 0xa0)
+	write(1, 0xa1)
+	read(2) // evicts dirty blk0 -> first write-back
+	if len(wbs) != 1 || wbs[0].ID.Num != 0 || wbs[0].Conflict {
+		t.Fatalf("after first eviction: wbs %+v, want one non-conflict for blk 0", wbs)
+	}
+	if l.PendingWriteBacks() != 1 {
+		t.Fatalf("PendingWriteBacks = %d, want 1", l.PendingWriteBacks())
+	}
+
+	// The store still holds nothing for blk0 (the executor hasn't run),
+	// so this fill must forward from the pending write-back.
+	if got := read(0); !bytes.Equal(got, blockOf(0xa0)) {
+		t.Fatalf("fill of blk 0 did not forward the pending write-back bytes")
+	}
+	fill := l.Snapshot().Fill
+	if fill.WritebackHits != 1 {
+		t.Errorf("WritebackHits = %d, want 1", fill.WritebackHits)
+	}
+
+	// Reading blk0 evicted dirty blk1: second write-back, no conflict.
+	if len(wbs) != 2 || wbs[1].ID.Num != 1 || wbs[1].Conflict {
+		t.Fatalf("after second eviction: wbs %+v, want non-conflict for blk 1", wbs)
+	}
+
+	// Re-dirty blk0 and evict it again while its first write-back is
+	// still pending: the new one must carry the Conflict flag.
+	write(0, 0xb0)
+	read(1) // evicts clean blk2 or dirty blk0 depending on recency; force blk0 out:
+	read(2) // whichever order, blk0 (dirty, older than the fresh fills) goes
+	var conflict *core.WriteBack
+	for _, wb := range wbs[2:] {
+		if wb.ID.Num == 0 {
+			conflict = wb
+		}
+	}
+	if conflict == nil || !conflict.Conflict {
+		t.Fatalf("re-eviction of blk 0 with a pending write-back: wbs %+v, want Conflict", wbs)
+	}
+	if !bytes.Equal(conflict.Data, blockOf(0xb0)) {
+		t.Error("conflict write-back carries stale bytes")
+	}
+
+	// Complete in FIFO order, as the real flusher does.
+	for _, wb := range wbs {
+		l.CompleteWriteBack(wb)
+	}
+	if l.PendingWriteBacks() != 0 {
+		t.Errorf("PendingWriteBacks = %d after completing all, want 0", l.PendingWriteBacks())
+	}
+	st, _ := l.OwnerStats(ow)
+	if st.WriteBacks != int64(len(wbs)) {
+		t.Errorf("owner WriteBacks = %d, want %d", st.WriteBacks, len(wbs))
+	}
+	fill = l.Snapshot().Fill
+	if fill.WritebacksQueued != int64(len(wbs)) {
+		t.Errorf("WritebacksQueued = %d, want %d", fill.WritebacksQueued, len(wbs))
+	}
+	if fill.WritebackQueueHighWater < 2 {
+		t.Errorf("WritebackQueueHighWater = %d, want >= 2", fill.WritebackQueueHighWater)
+	}
+	l.CheckInvariants()
+}
+
+// TestLiveWritebackErrorSurfaced pins the no-panic rule: a failing store
+// write during eviction comes back through the request's callback as
+// ErrWriteBack, is counted, and leaves the kernel serviceable.
+func TestLiveWritebackErrorSurfaced(t *testing.T) {
+	fs := &failStore{Store: disk.NewMemStore()}
+	l := core.NewLive(core.LiveConfig{
+		CacheBytes: 2 * core.BlockSize,
+		Alloc:      cache.LRUSP,
+		Store:      fs,
+	})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := bytes.Repeat([]byte{1}, core.BlockSize)
+	for blk := int32(0); blk < 2; blk++ {
+		l.Write(ow, f.ID(), blk, 0, block, func(hit bool, err error) {
+			if err != nil {
+				t.Fatalf("seed write %d: %v", blk, err)
+			}
+		})
+	}
+
+	fs.failWrites = true
+	var got error
+	l.Read(ow, f.ID(), 2, 0, 8, func(data []byte, hit bool, err error) { got = err })
+	if !errors.Is(got, core.ErrWriteBack) {
+		t.Fatalf("read that forced a failing write-back: err = %v, want ErrWriteBack", got)
+	}
+	if n := l.Snapshot().Fill.WritebackErrors; n != 1 {
+		t.Errorf("WritebackErrors = %d, want 1", n)
+	}
+
+	// The kernel survives: the same read now succeeds (block already
+	// cached from the fill) and a flush reports rather than panics.
+	l.Read(ow, f.ID(), 2, 0, 8, func(data []byte, hit bool, err error) { got = err })
+	if got != nil {
+		t.Fatalf("kernel not serviceable after write-back error: %v", got)
+	}
+	if _, err := l.FlushDirty(core.MaxTime); !errors.Is(err, core.ErrWriteBack) {
+		t.Errorf("FlushDirty over a failing store: err = %v, want ErrWriteBack", err)
+	}
+	fs.failWrites = false
+	if n, err := l.FlushDirty(core.MaxTime); err != nil || n == 0 {
+		t.Errorf("FlushDirty after store recovery: n=%d err=%v, want writes and nil", n, err)
+	}
+	l.CheckInvariants()
+}
+
+// TestLiveReadAhead pins the sequential detector's accounting: the
+// second consecutive read triggers prefetch of the next depth blocks,
+// prefetched blocks are not Referenced until demand touches them, and
+// the prefetch counters tell the same story as ProcStats.
+func TestLiveReadAhead(t *testing.T) {
+	l := core.NewLive(core.LiveConfig{
+		CacheBytes:     8 * core.BlockSize,
+		Alloc:          cache.LRUSP,
+		ReadAhead:      true,
+		ReadAheadDepth: 2,
+	})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(blk int32) bool {
+		t.Helper()
+		var hit bool
+		l.Read(ow, f.ID(), blk, 0, 8, func(data []byte, h bool, err error) {
+			if err != nil {
+				t.Fatalf("read %d: %v", blk, err)
+			}
+			hit = h
+		})
+		return hit
+	}
+
+	read(0) // cold, no run yet
+	read(1) // extends the run: prefetch blocks 2 and 3
+	id2 := cache.BlockID{File: f.ID(), Num: 2}
+	b2 := l.Cache().Peek(id2)
+	if b2 == nil {
+		t.Fatal("block 2 not prefetched")
+	}
+	if b2.Referenced {
+		t.Error("prefetched block marked Referenced before any demand touch")
+	}
+	for blk := int32(2); blk < 6; blk++ {
+		if !read(blk) {
+			t.Errorf("read %d missed; want prefetch hit", blk)
+		}
+	}
+	if !b2.Referenced {
+		t.Error("demand touch did not set Referenced on the prefetched block")
+	}
+
+	st, _ := l.OwnerStats(ow)
+	if st.Misses != 2 || st.Hits != 4 || st.DemandReads != 2 {
+		t.Errorf("proc stats = %d misses / %d hits / %d demand reads, want 2/4/2", st.Misses, st.Hits, st.DemandReads)
+	}
+	if st.Prefetches != 4 {
+		t.Errorf("Prefetches = %d, want 4 (blocks 2..5)", st.Prefetches)
+	}
+	fill := l.Snapshot().Fill
+	if fill.PrefetchIssued != 4 || fill.PrefetchHits != 4 {
+		t.Errorf("fill prefetch counters = %d issued / %d hits, want 4/4", fill.PrefetchIssued, fill.PrefetchHits)
+	}
+	if fill.StoreReads != 6 {
+		t.Errorf("StoreReads = %d, want 6 (2 demand + 4 prefetch)", fill.StoreReads)
+	}
+	l.CheckInvariants()
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveReleaseOwnerSurfacesEvictError: the disconnect path (evict on
+// release) reports a failing write-back instead of panicking.
+func TestLiveReleaseOwnerSurfacesEvictError(t *testing.T) {
+	fs := &failStore{Store: disk.NewMemStore()}
+	l := core.NewLive(core.LiveConfig{
+		CacheBytes:     4 * core.BlockSize,
+		Alloc:          cache.LRUSP,
+		Store:          fs,
+		EvictOnRelease: true,
+	})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Write(ow, f.ID(), 0, 0, bytes.Repeat([]byte{7}, core.BlockSize), func(hit bool, err error) {})
+	fs.failWrites = true
+	if _, err := l.ReleaseOwner(ow); !errors.Is(err, core.ErrWriteBack) {
+		t.Errorf("ReleaseOwner with failing store: err = %v, want ErrWriteBack", err)
+	}
+	l.CheckInvariants()
+}
+
+// TestLiveSnapshotIsolated guards against aliasing: mutating the kernel
+// after Snapshot must not retroactively change the snapshot.
+func TestLiveSnapshotIsolated(t *testing.T) {
+	l := core.NewLive(core.LiveConfig{CacheBytes: 4 * core.BlockSize, Alloc: cache.LRUSP})
+	ow := l.AddOwner("t")
+	f, err := l.Create(ow, "f", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Snapshot()
+	l.Read(ow, f.ID(), 0, 0, 8, func(data []byte, hit bool, err error) {})
+	if after := l.Snapshot(); before.Fill.StoreReads == after.Fill.StoreReads {
+		t.Fatal(fmt.Sprintf("read did not move StoreReads (still %d)", after.Fill.StoreReads))
+	}
+	if before.Fill.StoreReads != 0 {
+		t.Error("earlier snapshot mutated by later kernel activity")
+	}
+}

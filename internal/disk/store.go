@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Store is a live block backend: it durably (or at least authoritatively)
@@ -36,10 +38,16 @@ func storeKey(file, blk int32) uint64 {
 
 // MemStore is an in-memory Store: the zero-dependency backend for tests
 // and benchmarks, and the default for an acfcd daemon started without a
-// backing file.
+// backing file. SetLatency makes it model a slow backing store, so
+// benchmarks can measure what miss coalescing, write-behind and
+// read-ahead actually buy against a store where I/O costs something.
 type MemStore struct {
 	mu     sync.RWMutex
 	blocks map[uint64][]byte
+
+	latency atomic.Int64 // per-op sleep, ns (0 = none)
+	jitter  atomic.Int64 // max extra sleep, ns
+	rng     atomic.Uint64
 }
 
 // NewMemStore builds an empty in-memory store.
@@ -47,11 +55,41 @@ func NewMemStore() *MemStore {
 	return &MemStore{blocks: make(map[uint64][]byte)}
 }
 
+// SetLatency makes every ReadBlock and WriteBlock sleep for lat plus a
+// uniform random extra in [0, jitter), modelling a slow backing store.
+// The jitter stream is a cheap deterministic xorshift, seeded once, so
+// runs are reproducible modulo goroutine interleaving. Zero disables.
+func (m *MemStore) SetLatency(lat, jitter time.Duration) {
+	m.latency.Store(int64(lat))
+	m.jitter.Store(int64(jitter))
+	if m.rng.Load() == 0 {
+		m.rng.Store(0x9e3779b97f4a7c15)
+	}
+}
+
+func (m *MemStore) sleep() {
+	lat := m.latency.Load()
+	if j := m.jitter.Load(); j > 0 {
+		// xorshift64, racing CAS-free on purpose: overlapping updates just
+		// perturb the stream, and the stream only feeds a sleep duration.
+		x := m.rng.Load()
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.rng.Store(x)
+		lat += int64(x % uint64(j))
+	}
+	if lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
+}
+
 // ReadBlock implements Store.
 func (m *MemStore) ReadBlock(file, blk int32, dst []byte) error {
 	if len(dst) != BlockSize {
 		return fmt.Errorf("disk: read buffer is %d bytes, want %d", len(dst), BlockSize)
 	}
+	m.sleep()
 	m.mu.RLock()
 	src := m.blocks[storeKey(file, blk)]
 	if src == nil {
@@ -70,6 +108,7 @@ func (m *MemStore) WriteBlock(file, blk int32, src []byte) error {
 	if len(src) != BlockSize {
 		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(src), BlockSize)
 	}
+	m.sleep()
 	owned := make([]byte, BlockSize)
 	copy(owned, src)
 	m.mu.Lock()

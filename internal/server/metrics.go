@@ -26,6 +26,7 @@ func (s *Server) MetricsHandler() http.Handler {
 		fmt.Fprintf(w, "acfcd_requests_total %d\n", m.Requests)
 		fmt.Fprintf(w, "acfcd_refused_total %d\n", m.Refused)
 		fmt.Fprintf(w, "acfcd_fills_inflight %d\n", m.FillsInflight)
+		fmt.Fprintf(w, "acfcd_writebacks_inflight %d\n", m.WritebacksInflight)
 		fmt.Fprintf(w, "acfcd_cached_blocks %d\n", m.CachedBlocks)
 		for i, sm := range m.Shards {
 			l := fmt.Sprintf(`{shard="%d"}`, i)
@@ -33,6 +34,7 @@ func (s *Server) MetricsHandler() http.Handler {
 			fmt.Fprintf(w, "acfcd_shard_requests_total%s %d\n", l, sm.Requests)
 			fmt.Fprintf(w, "acfcd_shard_refused_total%s %d\n", l, sm.Refused)
 			fmt.Fprintf(w, "acfcd_shard_fills_inflight%s %d\n", l, sm.FillsInflight)
+			fmt.Fprintf(w, "acfcd_shard_writebacks_inflight%s %d\n", l, sm.WritebacksInflight)
 			fmt.Fprintf(w, "acfcd_shard_cached_blocks%s %d\n", l, sm.CachedBlocks)
 		}
 		sort.Slice(m.Sessions, func(i, j int) bool { return m.Sessions[i].Owner < m.Sessions[j].Owner })

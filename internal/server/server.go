@@ -22,9 +22,19 @@ import (
 // Config configures a Server.
 type Config struct {
 	// Kernel configures the Live kernels. Config overwrites
-	// Kernel.StartFill and Kernel.Store (each shard gets a keyspace
-	// slice of the shared store): the server owns fill execution.
+	// Kernel.StartFill, Kernel.StartWriteBack and Kernel.Store (each
+	// shard gets a keyspace slice of the shared store): the server owns
+	// fill and write-back execution.
 	Kernel core.LiveConfig
+	// WritebackDepth bounds the asynchronous write-behind queue per
+	// shard. 0 (the default) disables write-behind: dirty victims write
+	// back synchronously inside the kernel loop, reproducing the
+	// pre-write-behind request/IO ordering exactly — the mode the oracle
+	// test pins. With depth N, up to N dirty victims per shard ride a
+	// flusher goroutine; when the queue is full, a victim with no
+	// same-block ordering constraint degrades to a synchronous inline
+	// write (backpressure) rather than blocking the loop.
+	WritebackDepth int
 	// Shards is the number of independent kernel shards (default 1).
 	// Each shard owns its own Live — its own cache arena, ACM, and fill
 	// accounting — and its own message loop; files hash to a shard at
@@ -82,25 +92,27 @@ type SessionInfo struct {
 
 // ShardMetrics is one shard's slice of a Metrics snapshot.
 type ShardMetrics struct {
-	Kernel        stats.Snapshot
-	Requests      int64
-	Refused       int64
-	FillsInflight int
-	CachedBlocks  int
+	Kernel             stats.Snapshot
+	Requests           int64
+	Refused            int64
+	FillsInflight      int
+	WritebacksInflight int
+	CachedBlocks       int
 }
 
 // Metrics is a point-in-time server snapshot. The top-level fields
 // aggregate over the shards; Shards carries the per-shard breakdown.
 type Metrics struct {
-	Kernel         stats.Snapshot
-	SessionsActive int
-	SessionsTotal  int64
-	Requests       int64
-	Refused        int64
-	FillsInflight  int
-	CachedBlocks   int
-	Shards         []ShardMetrics
-	Sessions       []SessionInfo
+	Kernel             stats.Snapshot
+	SessionsActive     int
+	SessionsTotal      int64
+	Requests           int64
+	Refused            int64
+	FillsInflight      int
+	WritebacksInflight int
+	CachedBlocks       int
+	Shards             []ShardMetrics
+	Sessions           []SessionInfo
 }
 
 // request is one decoded frame from a session.
@@ -193,9 +205,10 @@ type kmsg struct {
 	open  bool     // with sess: session arrived
 	close bool     // with sess: session is gone
 	fill  *core.Fill
-	call  func(*shard) // run on the shard goroutine (metrics, broadcasts)
-	drain bool         // begin refusing requests
-	force bool         // kill every remaining session
+	wb    *core.WriteBack // a completed asynchronous write-back
+	call  func(*shard)    // run on the shard goroutine (metrics, broadcasts)
+	drain bool            // begin refusing requests
+	force bool            // kill every remaining session
 }
 
 // shard is one kernel shard: a Live of its own plus the one goroutine
@@ -217,6 +230,17 @@ type shard struct {
 	fillsInflight int
 	requests      int64
 	refused       int64
+
+	// wbch feeds the shard's flusher goroutine (nil when write-behind is
+	// off). wbOverflow holds write-backs that must execute in FIFO order
+	// behind an older same-block write but found wbch full; the loop
+	// drains it into wbch as completions free slots. wbInflight counts
+	// write-backs handed to the asynchronous path and not yet completed —
+	// the drain barrier waits for it, so the flusher never races
+	// Server.Close's store writes.
+	wbch       chan *core.WriteBack
+	wbOverflow []*core.WriteBack
+	wbInflight int
 }
 
 // remapStore gives each shard a disjoint keyspace in the shared block
@@ -289,6 +313,21 @@ func New(cfg Config) *Server {
 				sh.kch <- kmsg{fill: fl}
 			}()
 		}
+		if cfg.WritebackDepth > 0 {
+			sh.wbch = make(chan *core.WriteBack, cfg.WritebackDepth)
+			kcfg.StartWriteBack = sh.startWriteBack
+			store := kcfg.Store
+			// The flusher: one goroutine per shard draining the queue in
+			// FIFO order (which is what makes queue-order execution honor
+			// every same-block Conflict constraint) and re-entering the
+			// kernel loop with the result. It exits when retire closes wbch.
+			go func() {
+				for wb := range sh.wbch {
+					wb.Err = store.WriteBlock(int32(wb.ID.File), wb.ID.Num, wb.Data)
+					sh.kch <- kmsg{wb: wb}
+				}
+			}()
+		}
 		sh.kern = core.NewLive(kcfg)
 		kerns = append(kerns, sh.kern)
 		srv.shards = append(srv.shards, sh)
@@ -316,12 +355,20 @@ func (s *Server) Shards() int { return len(s.shards) }
 
 // Close flushes every shard kernel's dirty blocks and closes the shared
 // block store. Call only after Shutdown has returned: the shard loops
-// stop touching their kernels once drained.
+// stop touching their kernels once drained, and the drain barrier has
+// already waited out every asynchronous write-back — so these flush
+// writes can never be overtaken by a stale flusher write.
 func (s *Server) Close() error {
+	var firstErr error
 	for _, sh := range s.shards {
-		sh.kern.FlushDirty(core.MaxTime)
+		if _, err := sh.kern.FlushDirty(core.MaxTime); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return s.store.Close()
+	if err := s.store.Close(); firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Serve accepts connections on ln until the listener is closed. One
@@ -690,11 +737,12 @@ func (s *Server) Metrics() (Metrics, bool) {
 				return
 			}
 			rp := shardRep{ok: true, m: ShardMetrics{
-				Kernel:        sh.kern.Snapshot(),
-				Requests:      sh.requests,
-				Refused:       sh.refused,
-				FillsInflight: sh.fillsInflight,
-				CachedBlocks:  sh.kern.Cache().Len(),
+				Kernel:             sh.kern.Snapshot(),
+				Requests:           sh.requests,
+				Refused:            sh.refused,
+				FillsInflight:      sh.fillsInflight,
+				WritebacksInflight: sh.wbInflight,
+				CachedBlocks:       sh.kern.Cache().Len(),
 			}}
 			for se := range sh.sessions {
 				st, _ := sh.kern.OwnerStats(se.owners[sh.idx])
@@ -710,6 +758,7 @@ func (s *Server) Metrics() (Metrics, bool) {
 		m.Requests += rp.m.Requests
 		m.Refused += rp.m.Refused
 		m.FillsInflight += rp.m.FillsInflight
+		m.WritebacksInflight += rp.m.WritebacksInflight
 		m.CachedBlocks += rp.m.CachedBlocks
 		kernels = append(kernels, rp.m.Kernel)
 		for _, ss := range rp.sessions {
@@ -747,6 +796,11 @@ func (sh *shard) loop() {
 		case m.fill != nil:
 			sh.fillsInflight--
 			sh.kern.CompleteFill(m.fill)
+		case m.wb != nil:
+			sh.wbInflight--
+			sh.kern.CompleteWriteBack(m.wb)
+			sh.drainOverflow()
+			sh.maybeRetire()
 		case m.call != nil:
 			m.call(sh)
 		case m.drain:
@@ -768,11 +822,64 @@ func (sh *shard) loop() {
 }
 
 // maybeRetire marks the shard drained when no session can enqueue more
-// work and no fill is in flight.
+// work, no fill is in flight, and the write-behind queue is empty — the
+// drain barrier that makes Server.Close's direct store access safe.
+// Retiring closes wbch, ending the flusher goroutine.
 func (sh *shard) maybeRetire() {
-	if sh.draining && !sh.retired && len(sh.sessions) == 0 && sh.fillsInflight == 0 {
+	if sh.draining && !sh.retired && len(sh.sessions) == 0 && sh.fillsInflight == 0 && sh.wbInflight == 0 {
 		sh.retired = true
+		if sh.wbch != nil {
+			close(sh.wbch)
+		}
 		close(sh.done)
+	}
+}
+
+// startWriteBack is the shard's LiveConfig.StartWriteBack hook; it runs
+// on the shard loop goroutine and never blocks it. A write-back goes to
+// the flusher queue when there is room (behind any overflow, preserving
+// FIFO); a Conflict write-back — one that must not overtake an older
+// pending write of the same block — waits in the overflow list when the
+// queue is full; anything else degrades to a synchronous inline write,
+// which is the backpressure rule: a full queue slows the evicting
+// request down to today's synchronous cost instead of growing the queue
+// without bound or stalling the whole shard behind one block.
+func (sh *shard) startWriteBack(wb *core.WriteBack) {
+	sh.drainOverflow()
+	if len(sh.wbOverflow) == 0 {
+		select {
+		case sh.wbch <- wb:
+			sh.wbInflight++
+			return
+		default:
+		}
+	}
+	if wb.Conflict {
+		sh.wbOverflow = append(sh.wbOverflow, wb)
+		sh.wbInflight++
+		return
+	}
+	// Inline is safe exactly because !Conflict: no older write of this
+	// block is queued anywhere, so writing now cannot reorder anything.
+	wb.Stalled = true
+	wb.Err = sh.kern.Store().WriteBlock(int32(wb.ID.File), wb.ID.Num, wb.Data)
+	sh.kern.CompleteWriteBack(wb)
+}
+
+// drainOverflow moves queued-behind-the-queue write-backs into wbch in
+// FIFO order, as far as capacity allows.
+func (sh *shard) drainOverflow() {
+	for len(sh.wbOverflow) > 0 {
+		select {
+		case sh.wbch <- sh.wbOverflow[0]:
+			sh.wbOverflow[0] = nil
+			sh.wbOverflow = sh.wbOverflow[1:]
+		default:
+			return
+		}
+	}
+	if len(sh.wbOverflow) == 0 {
+		sh.wbOverflow = nil // let the backing array go
 	}
 }
 

@@ -271,6 +271,12 @@ func TestMetricsDrift(t *testing.T) {
 		if got := lines["acfcd_shard_cached_blocks"+l]; got != int64(sm.CachedBlocks) {
 			t.Errorf("shard %d cached_blocks: plaintext %d, struct %d", i, got, sm.CachedBlocks)
 		}
+		if got := lines["acfcd_shard_writebacks_inflight"+l]; got != int64(sm.WritebacksInflight) {
+			t.Errorf("shard %d writebacks_inflight: plaintext %d, struct %d", i, got, sm.WritebacksInflight)
+		}
+	}
+	if got := lines["acfcd_writebacks_inflight"]; got != int64(m.WritebacksInflight) {
+		t.Errorf("writebacks_inflight: plaintext %d, struct %d", got, m.WritebacksInflight)
 	}
 }
 
@@ -286,6 +292,7 @@ func checkSnapshotLines(t *testing.T, lines map[string]int64, prefix, label stri
 	}{
 		{"cache", reflect.ValueOf(snap.Cache)},
 		{"sim", reflect.ValueOf(snap.Sim)},
+		{"fill", reflect.ValueOf(snap.Fill)},
 	}
 	for _, g := range groups {
 		tp := g.v.Type()

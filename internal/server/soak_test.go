@@ -16,15 +16,22 @@ import (
 
 // sleepStore delays every block read so fills stay genuinely in flight
 // while sessions churn — the revoke-on-disconnect path must cope with
-// owners that vanish between StartFill and CompleteFill.
+// owners that vanish between StartFill and CompleteFill — and every
+// write, so the write-behind flusher's queue genuinely backs up.
 type sleepStore struct {
 	disk.Store
-	readDelay time.Duration
+	readDelay  time.Duration
+	writeDelay time.Duration
 }
 
 func (s *sleepStore) ReadBlock(file, blk int32, dst []byte) error {
 	time.Sleep(s.readDelay)
 	return s.Store.ReadBlock(file, blk, dst)
+}
+
+func (s *sleepStore) WriteBlock(file, blk int32, src []byte) error {
+	time.Sleep(s.writeDelay)
+	return s.Store.WriteBlock(file, blk, src)
 }
 
 // TestSoakConcurrentSessions is the subsystem's race stress: a deliberately
@@ -37,23 +44,38 @@ func (s *sleepStore) ReadBlock(file, blk int32, dst []byte) error {
 // at 1 shard and at 4, so every revoke/transfer path is audited per
 // replacement domain: with CheckInvariants forced by startServer, each
 // session close re-verifies the closing shard's kernel while the other
-// shards keep serving.
+// shards keep serving. Half the variants run the fill pipeline
+// (write-behind on a slow-write store plus read-ahead), so every mode
+// pairing appears with the pipeline both on and off: mid-fill
+// disconnects then race queued write-backs, prefetch fills, and the
+// drain/retire barrier too.
 func TestSoakConcurrentSessions(t *testing.T) {
-	for _, shards := range []int{1, 4} {
-		for _, evict := range []bool{false, true} {
-			shards, evict := shards, evict
-			name := "disown"
-			if evict {
-				name = "evict"
-			}
-			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
-				soak(t, evict, shards)
-			})
+	for _, v := range []struct {
+		evict     bool
+		shards    int
+		pipelined bool
+	}{
+		{false, 1, false},
+		{true, 1, true},
+		{false, 4, true},
+		{true, 4, false},
+	} {
+		v := v
+		name := "disown"
+		if v.evict {
+			name = "evict"
 		}
+		suffix := "sync"
+		if v.pipelined {
+			suffix = "pipelined"
+		}
+		t.Run(fmt.Sprintf("%s/shards=%d/%s", name, v.shards, suffix), func(t *testing.T) {
+			soak(t, v.evict, v.shards, v.pipelined)
+		})
 	}
 }
 
-func soak(t *testing.T, evictOnRelease bool, shards int) {
+func soak(t *testing.T, evictOnRelease bool, shards int, pipelined bool) {
 	const (
 		sessions   = 16
 		saboteurs  = 4 // extra raw connections that hang up mid-pipeline
@@ -64,7 +86,7 @@ func soak(t *testing.T, evictOnRelease bool, shards int) {
 		rounds = 12
 	}
 
-	_, addr, dial := startServer(t, server.Config{
+	cfg := server.Config{
 		Kernel: core.LiveConfig{
 			CacheBytes:     64 * core.BlockSize, // tiny: constant eviction pressure
 			Store:          &sleepStore{Store: disk.NewMemStore(), readDelay: 100 * time.Microsecond},
@@ -72,7 +94,21 @@ func soak(t *testing.T, evictOnRelease bool, shards int) {
 		},
 		Shards:      shards,
 		MaxInflight: 8,
-	})
+	}
+	if pipelined {
+		// A deliberately shallow queue over a slow-write store: write-backs
+		// stall (the backpressure path), conflicts overflow, and fills
+		// forward from pending write-backs, all under the same churn.
+		cfg.WritebackDepth = 2
+		cfg.Kernel.ReadAhead = true
+		cfg.Kernel.ReadAheadDepth = 2
+		cfg.Kernel.Store = &sleepStore{
+			Store:      disk.NewMemStore(),
+			readDelay:  100 * time.Microsecond,
+			writeDelay: 200 * time.Microsecond,
+		}
+	}
+	_, addr, dial := startServer(t, cfg)
 
 	// A shared file every session reads, so disconnects exercise the
 	// transfer-or-evict path on blocks other owners still want.

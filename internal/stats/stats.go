@@ -20,16 +20,70 @@ import (
 // Snapshot is one observation of the kernel counters. For a DES run the
 // Sim block carries the engine's event/handoff statistics; for the live
 // (real-clock) kernel behind acfcd there is no DES engine and Sim stays
-// zero.
+// zero. Fill is the live kernel's miss/write-back pipeline (MSHR
+// coalescing, write-behind, server-side read-ahead); the DES models
+// those costs in virtual time instead, so for a simulation run Fill
+// stays zero.
 type Snapshot struct {
 	Cache cache.Stats `json:"cache"`
 	Sim   sim.Stats   `json:"sim"`
+	Fill  FillStats   `json:"fill"`
+}
+
+// FillStats counts the live kernel's fill/write-back pipeline: how misses
+// execute, not which block was evicted. The json tags are the canonical
+// counter names everywhere they escape the process (acbench -json, the
+// acfcd /metrics endpoint) — see WriteMetricsLabeled.
+type FillStats struct {
+	// StoreReads is the number of block reads actually issued to the
+	// store. Coalescing, read-ahead joins and write-behind forwarding
+	// all push it below the cache's miss count.
+	StoreReads int64 `json:"store_reads"`
+	// CoalescedMisses counts requests that joined an already in-flight
+	// fill for the same block (the MSHR waiter path) instead of issuing
+	// their own store read.
+	CoalescedMisses int64 `json:"coalesced_misses"`
+	// WritebackHits counts fills served straight from a pending
+	// write-behind buffer: the block's freshest bytes were still queued
+	// for the store, so the fill copied them and skipped the read.
+	WritebackHits int64 `json:"writeback_hits"`
+	// PrefetchIssued / PrefetchHits count server-side read-ahead: fills
+	// issued ahead of a sequential run, and demand accesses that landed
+	// on a prefetched block (in flight or completed but untouched).
+	PrefetchIssued int64 `json:"prefetch_issued"`
+	PrefetchHits   int64 `json:"prefetch_hits"`
+	// WritebacksQueued counts dirty victims handed to the asynchronous
+	// write-behind queue; WritebackQueueHighWater is the most ever
+	// outstanding at once; WritebackStalls counts enqueues that found
+	// the queue full and degraded to a synchronous inline write (the
+	// backpressure rule); WritebackErrors counts store write failures
+	// (surfaced, never fatal).
+	WritebacksQueued        int64 `json:"writebacks_queued"`
+	WritebackQueueHighWater int64 `json:"writeback_queue_high_water"`
+	WritebackStalls         int64 `json:"writeback_stalls"`
+	WritebackErrors         int64 `json:"writeback_errors"`
+}
+
+// Accumulate folds o into s: counters add, high-water marks take the max.
+func (s *FillStats) Accumulate(o FillStats) {
+	s.StoreReads += o.StoreReads
+	s.CoalescedMisses += o.CoalescedMisses
+	s.WritebackHits += o.WritebackHits
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchHits += o.PrefetchHits
+	s.WritebacksQueued += o.WritebacksQueued
+	if o.WritebackQueueHighWater > s.WritebackQueueHighWater {
+		s.WritebackQueueHighWater = o.WritebackQueueHighWater
+	}
+	s.WritebackStalls += o.WritebackStalls
+	s.WritebackErrors += o.WritebackErrors
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
 func (s *Snapshot) Accumulate(o Snapshot) {
 	s.Cache.Accumulate(o.Cache)
 	s.Sim.Accumulate(o.Sim)
+	s.Fill.Accumulate(o.Fill)
 }
 
 // Aggregate folds a set of per-shard snapshots into one total, with the
@@ -61,6 +115,7 @@ func (s Snapshot) WriteMetrics(w io.Writer, prefix string) {
 func (s Snapshot) WriteMetricsLabeled(w io.Writer, prefix, labels string) {
 	writeGroup(w, prefix+"_cache_", labels, reflect.ValueOf(s.Cache))
 	writeGroup(w, prefix+"_sim_", labels, reflect.ValueOf(s.Sim))
+	writeGroup(w, prefix+"_fill_", labels, reflect.ValueOf(s.Fill))
 }
 
 // writeGroup emits one line per field of a flat all-integer struct.
