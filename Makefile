@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot serve loadtest experiments charts fuzz clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot serve loadtest experiments charts fuzz fuzz-frames clean outputs
 
 all: check
 
-# The default gate: static checks, the test suite, then the race
-# detector over the packages with real cross-goroutine traffic (the
-# parallel scheduler, the simulations it drives, and the cache server —
-# including the multi-shard soak: 16 sessions plus hangup saboteurs
-# across 4 kernel shards, invariant-checked per shard on every close).
-check: vet test race-hot
+# The default gate: static checks, the test suite, the race detector
+# over the packages with real cross-goroutine traffic (the parallel
+# scheduler, the simulations it drives, and the cache server — including
+# the multi-shard soak: 16 sessions plus hangup saboteurs across 4
+# kernel shards, invariant-checked per shard on every close), then a
+# short coverage-guided fuzz of the wire-frame codec.
+check: vet test race-hot fuzz-frames
 
 race-hot:
 	$(GO) test -race ./internal/expt ./internal/core ./internal/server
@@ -77,6 +78,13 @@ charts:
 
 fuzz:
 	$(GO) test ./internal/cache/ -fuzz FuzzCacheOps -fuzztime 30s
+
+# Short fuzz of the frame decoders (one -fuzz pattern per invocation is
+# a go test restriction): arbitrary bytes through both decode paths,
+# then encode/decode round-trips.
+fuzz-frames:
+	$(GO) test ./internal/server/ -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 5s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime 5s
 
 # The artifacts recorded in the repository.
 outputs:

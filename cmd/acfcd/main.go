@@ -8,6 +8,7 @@
 // Usage:
 //
 //	acfcd -listen unix:/tmp/acfcd.sock [-metrics 127.0.0.1:9090]
+//	      [-pprof 127.0.0.1:6060]
 //	      [-cache-mb 6.4] [-alloc lru-sp] [-store mem|/path/to/file]
 //	      [-shards 1] [-idle 2m] [-inflight 32] [-evict-on-close]
 //	      [-check-invariants] [-writeback-depth 0] [-readahead 0]
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof: registers the /debug/pprof handlers
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +51,7 @@ func main() {
 func run() int {
 	listenFlag := flag.String("listen", "unix:/tmp/acfcd.sock", "listen address: unix:/path or tcp:host:port")
 	metricsFlag := flag.String("metrics", "", "HTTP /metrics listen address (empty: disabled)")
+	pprofFlag := flag.String("pprof", "", "HTTP net/http/pprof listen address (empty: disabled)")
 	cacheFlag := flag.Float64("cache-mb", 6.4, "cache size in MB")
 	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
 	storeFlag := flag.String("store", "mem", "block store: mem, or a backing file path")
@@ -122,6 +125,19 @@ func run() int {
 		mux.Handle("/metrics", srv.MetricsHandler())
 		go http.Serve(mln, mux)
 		fmt.Fprintf(os.Stderr, "acfcd: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	if *pprofFlag != "" {
+		pln, err := net.Listen("tcp", *pprofFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: pprof: %v\n", err)
+			return 1
+		}
+		// nil handler = http.DefaultServeMux, where the pprof import
+		// registered /debug/pprof; kept off the -metrics mux so the
+		// profiling port can stay loopback-only.
+		go http.Serve(pln, nil)
+		fmt.Fprintf(os.Stderr, "acfcd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	errc := make(chan error, 1)

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -71,10 +72,20 @@ type sweepResult struct {
 	Errors     int64   `json:"errors"`
 	Seconds    float64 `json:"seconds"`
 	Throughput float64 `json:"requests_per_sec"`
-	HitRatio   float64 `json:"hit_ratio"`
-	P50us      float64 `json:"p50_us"`
-	P90us      float64 `json:"p90_us"`
-	P99us      float64 `json:"p99_us"`
+	// BytesPerSec is payload bandwidth: block bytes actually moved over
+	// the wire (read responses unless -nodata, write request payloads),
+	// headers excluded.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	// AllocsPerOp is process-wide heap allocations per request over the
+	// sweep (runtime Mallocs delta / requests). With -selfserve it
+	// covers both sides of the wire, which is the number the zero-copy
+	// serve path is meant to hold down; against an external server it
+	// measures only this client process.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HitRatio    float64 `json:"hit_ratio"`
+	P50us       float64 `json:"p50_us"`
+	P90us       float64 `json:"p90_us"`
+	P99us       float64 `json:"p99_us"`
 }
 
 // shardSweep is the client sweep at one kernel shard count, with that
@@ -230,8 +241,8 @@ func run() int {
 			}
 			ss.Sweeps = append(ss.Sweeps, res)
 			fmt.Fprintf(os.Stderr,
-				"acload: %s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs, refused %d, errors %d\n",
-				label, n, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio, res.P50us, res.P90us, res.P99us, res.Refused, res.Errors)
+				"acload: %s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, %6.1f MB/s, %5.1f allocs/op, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs, refused %d, errors %d\n",
+				label, n, res.Requests, res.Seconds, res.Throughput, res.BytesPerSec/1e6, res.AllocsPerOp, 100*res.HitRatio, res.P50us, res.P90us, res.P99us, res.Refused, res.Errors)
 		}
 
 		if srv != nil {
@@ -359,8 +370,8 @@ func runHot(p hotParams) (*hotReport, error) {
 			return nil, fmt.Errorf("%s: %w", cfg.name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"acload: hot %-11s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs (coalesced %d, store reads %d, wb queued %d, prefetch hits %d)\n",
-			cfg.name, p.clients, res.Requests, res.Seconds, res.Throughput, 100*res.HitRatio,
+			"acload: hot %-11s %2d clients: %7d reqs in %6.2fs = %8.0f req/s, %6.1f MB/s, %5.1f allocs/op, hit %5.1f%%, p50 %5.0fµs p90 %5.0fµs p99 %6.0fµs (coalesced %d, store reads %d, wb queued %d, prefetch hits %d)\n",
+			cfg.name, p.clients, res.Requests, res.Seconds, res.Throughput, res.BytesPerSec/1e6, res.AllocsPerOp, 100*res.HitRatio,
 			res.P50us, res.P90us, res.P99us,
 			run.Kernel.Fill.CoalescedMisses, run.Kernel.Fill.StoreReads,
 			run.Kernel.Fill.WritebacksQueued, run.Kernel.Fill.PrefetchHits)
@@ -390,6 +401,8 @@ func hotSweep(addr string, p hotParams) (sweepResult, error) {
 	}
 	outs := make([]out, p.clients)
 	var wg sync.WaitGroup
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < p.clients; i++ {
 		wg.Add(1)
@@ -400,9 +413,11 @@ func hotSweep(addr string, p hotParams) (sweepResult, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	res := sweepResult{Clients: p.clients, Seconds: elapsed.Seconds()}
-	var hits, accesses int64
+	var hits, accesses, bytes int64
 	var all []time.Duration
 	for i := range outs {
 		if outs[i].err != nil {
@@ -412,10 +427,15 @@ func hotSweep(addr string, p hotParams) (sweepResult, error) {
 		res.Requests += st.requests
 		hits += st.hits
 		accesses += st.hits + st.misses
+		bytes += st.bytes
 		all = append(all, st.latencies...)
 	}
 	if res.Seconds > 0 {
 		res.Throughput = float64(res.Requests) / res.Seconds
+		res.BytesPerSec = float64(bytes) / res.Seconds
+	}
+	if res.Requests > 0 {
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Requests)
 	}
 	if accesses > 0 {
 		res.HitRatio = float64(hits) / float64(accesses)
@@ -445,6 +465,7 @@ func hotClient(addr string, idx int, p hotParams) (replayStats, error) {
 	for i := range payload {
 		payload[i] = byte(idx + i)
 	}
+	readBuf := make([]byte, core.BlockSize)
 	rng := uint64(idx)*0x9e3779b97f4a7c15 + 1
 	st.latencies = make([]time.Duration, 0, p.rounds*p.blocks)
 	for r := 0; r < p.rounds; r++ {
@@ -457,8 +478,10 @@ func hotClient(addr string, idx int, p hotParams) (replayStats, error) {
 			var hit bool
 			if int(rng%100) < p.writePct {
 				hit, err = c.Write(f.ID, blk, 0, payload)
+				st.bytes += int64(len(payload))
 			} else {
-				_, hit, err = c.Read(f.ID, blk, 0, core.BlockSize)
+				hit, err = c.ReadInto(f.ID, blk, 0, core.BlockSize, readBuf)
+				st.bytes += core.BlockSize
 			}
 			st.latencies = append(st.latencies, time.Since(t0))
 			if err != nil {
@@ -503,6 +526,8 @@ func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodat
 	}
 	outs := make([]clientOut, n)
 	var wg sync.WaitGroup
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -514,9 +539,11 @@ func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodat
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	res := sweepResult{Clients: n, Seconds: elapsed.Seconds()}
-	var hits, accesses int64
+	var hits, accesses, bytes int64
 	var all []time.Duration
 	for i := range outs {
 		if outs[i].err != nil {
@@ -528,10 +555,15 @@ func runSweep(network, addr, tag string, n int, events []expt.ReplayEvent, nodat
 		res.Errors += st.errors
 		hits += st.hits
 		accesses += st.hits + st.misses
+		bytes += st.bytes
 		all = append(all, st.latencies...)
 	}
 	if res.Seconds > 0 {
 		res.Throughput = float64(res.Requests) / res.Seconds
+		res.BytesPerSec = float64(bytes) / res.Seconds
+	}
+	if res.Requests > 0 {
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Requests)
 	}
 	if accesses > 0 {
 		res.HitRatio = float64(hits) / float64(accesses)
@@ -557,6 +589,7 @@ type replayStats struct {
 	misses    int64
 	refused   int64
 	errors    int64
+	bytes     int64 // payload bytes moved (read responses, write payloads)
 	latencies []time.Duration
 }
 
@@ -568,7 +601,7 @@ type replayConn interface {
 	Remove(name string) error
 	Control(enable bool) error
 	Fbehavior(op client.FbOp, a client.FbArgs) (client.FbResult, error)
-	Read(f fs.FileID, blk int32, off, size int) ([]byte, bool, error)
+	ReadInto(f fs.FileID, blk int32, off, size int, dst []byte) (bool, error)
 	ReadNoData(f fs.FileID, blk int32, off, size int) (bool, error)
 	Write(f fs.FileID, blk int32, off int, payload []byte) (bool, error)
 	Close() error
@@ -585,6 +618,7 @@ type replayer struct {
 	files      map[fs.FileID]fs.FileID // recorded id -> server id
 	names      map[fs.FileID]string    // recorded id -> server name, for re-open
 	controlled bool
+	buf        []byte // reused read destination (client-side zero-alloc)
 	st         replayStats
 }
 
@@ -603,6 +637,7 @@ func replayOne(dial func() (replayConn, error), prefix string, events []expt.Rep
 		nodata: nodata,
 		files:  make(map[fs.FileID]fs.FileID),
 		names:  make(map[fs.FileID]string),
+		buf:    make([]byte, core.BlockSize),
 	}
 	c, err := dial()
 	if err != nil {
@@ -742,10 +777,12 @@ func (r *replayer) apply(ev expt.ReplayEvent, payload []byte) (hit, isAccess boo
 	t0 := time.Now()
 	if a.Write {
 		hit, err = r.c.Write(fid, a.Block, a.Off, payload[:a.Size])
+		r.st.bytes += int64(a.Size)
 	} else if r.nodata {
 		hit, err = r.c.ReadNoData(fid, a.Block, a.Off, a.Size)
 	} else {
-		_, hit, err = r.c.Read(fid, a.Block, a.Off, a.Size)
+		hit, err = r.c.ReadInto(fid, a.Block, a.Off, a.Size, r.buf)
+		r.st.bytes += int64(a.Size)
 	}
 	r.st.latencies = append(r.st.latencies, time.Since(t0))
 	return hit, true, err

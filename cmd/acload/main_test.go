@@ -81,11 +81,12 @@ func (c *stubConn) access() error {
 	return nil
 }
 
-func (c *stubConn) Read(f fs.FileID, blk int32, off, size int) ([]byte, bool, error) {
+func (c *stubConn) ReadInto(f fs.FileID, blk int32, off, size int, dst []byte) (bool, error) {
 	if err := c.access(); err != nil {
-		return nil, false, err
+		return false, err
 	}
-	return make([]byte, size), true, nil
+	clear(dst[:size])
+	return true, nil
 }
 
 func (c *stubConn) ReadNoData(f fs.FileID, blk int32, off, size int) (bool, error) {

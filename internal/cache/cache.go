@@ -119,6 +119,12 @@ type Buf struct {
 	// unreferenced blocks as last-resort victims.
 	Referenced bool
 
+	// Slot holds the block's bytes when the cache carries data
+	// (Config.SlotBytes > 0; the live server). Attached at Insert,
+	// detached into the Victim on dirty eviction, recycled with the
+	// buffer otherwise. nil in the data-free simulation. See slot.go.
+	Slot *Slot
+
 	// acm is the Replacer's per-block state, embedded so that the five
 	// BUF→ACM upcalls never box, assert, or allocate (see acmnode.go).
 	acm ACMNode
@@ -165,11 +171,14 @@ type Replacer interface {
 }
 
 // Victim describes an evicted buffer so the caller can write back dirty
-// data.
+// data. When the cache carries data and the victim was dirty, Slot is the
+// detached data slot: the caller owns it and must hand it back through
+// ReleaseSlot once the write-back (or its abandonment) is done.
 type Victim struct {
 	ID    BlockID
 	Owner int
 	Dirty bool
+	Slot  *Slot
 }
 
 // Stats aggregates cache-wide counters. The json tags are the one
@@ -238,6 +247,10 @@ type Config struct {
 	// using a shared block gets to apply its policy to it. Off, a block
 	// stays with the process that faulted it in.
 	SharedTransfer bool
+	// SlotBytes, when positive, makes the cache carry block contents:
+	// every cached buffer owns a refcounted data slot of this many bytes
+	// (see slot.go). Zero — the simulation — stores no data at all.
+	SlotBytes int
 }
 
 // Cache is the buffer cache. It is not safe for concurrent use; in the
@@ -264,6 +277,13 @@ type Cache struct {
 	freeBufs *Buf
 	freePh   *placeholder
 	victim   Victim // scratch for Insert's victim result; valid until the next Insert
+
+	// Data slots (SlotBytes > 0 only): one per buffer, carved from a
+	// slab; zombies are freed slots still pinned by in-flight response
+	// frames, swept back to the free list as their pins drain.
+	slotSize  int
+	freeSlots []*Slot
+	zombies   []*Slot
 }
 
 // New builds a cache. The Replacer may be nil only for GlobalLRU.
@@ -294,6 +314,8 @@ func New(cfg Config, repl Replacer) *Cache {
 		c.arena[i].gnext = c.freeBufs
 		c.freeBufs = &c.arena[i]
 	}
+	c.slotSize = cfg.SlotBytes
+	c.initSlots()
 	return c
 }
 
@@ -309,6 +331,9 @@ func (c *Cache) allocBuf(id BlockID, owner int) *Buf {
 	}
 	b.ID = id
 	b.Owner = owner
+	if c.slotSize > 0 {
+		b.Slot = c.allocSlot()
+	}
 	return b
 }
 
@@ -323,6 +348,10 @@ func (c *Cache) freeBuf(b *Buf) {
 	// this fires only if some path missed the upcall.
 	if b.acm.Level != nil {
 		b.acm.Level.Unlink(&b.acm)
+	}
+	if b.Slot != nil {
+		c.ReleaseSlot(b.Slot)
+		b.Slot = nil
 	}
 	holders := b.holders[:0] // keep the slice's capacity across reuse
 	*b = Buf{}
@@ -642,6 +671,14 @@ func (c *Cache) validateAlternative(candidate, alt *Buf, now sim.Time) {
 // per-cache scratch slot; the caller consumes it before the next Insert).
 func (c *Cache) evict(b *Buf) *Victim {
 	c.victim = Victim{ID: b.ID, Owner: b.Owner, Dirty: b.Dirty}
+	// A dirty victim's bytes must survive the buffer for the write-back:
+	// detach the slot into the victim record (the caller releases it).
+	// Mid-fill buffers keep theirs — the fill completion still writes
+	// into it, and the leaked buffer carries the slot out of circulation.
+	if b.Dirty && b.Slot != nil && b.ValidAt != IOPending {
+		c.victim.Slot = b.Slot
+		b.Slot = nil
+	}
 	if !b.Referenced {
 		c.stats.UnrefEvictions++
 	}
@@ -825,10 +862,20 @@ func (c *Cache) Drop(b *Buf) {
 // mutation storms. It panics with a description on the first violation.
 func (c *Cache) CheckInvariants() {
 	n := 0
+	slots := make(map[*Slot]BlockID)
 	for b := c.head.gnext; b != c.tail; b = b.gnext {
 		n++
 		if c.table.get(b.ID.pack()) != b {
 			panic(fmt.Sprintf("cache: listed block %v not in table", b.ID))
+		}
+		if c.slotSize > 0 {
+			if b.Slot == nil {
+				panic(fmt.Sprintf("cache: cached block %v has no data slot", b.ID))
+			}
+			if prev, dup := slots[b.Slot]; dup {
+				panic(fmt.Sprintf("cache: blocks %v and %v share a slot", prev, b.ID))
+			}
+			slots[b.Slot] = b.ID
 		}
 		for _, ph := range b.holders {
 			if c.ph.get(ph.forID.pack()) != ph {
@@ -856,4 +903,9 @@ func (c *Cache) CheckInvariants() {
 			panic(fmt.Sprintf("cache: placeholder for %v points to evicted block", ph.forID))
 		}
 	})
+	for _, s := range c.freeSlots {
+		if s.Pinned() {
+			panic("cache: pinned slot on the free list")
+		}
+	}
 }

@@ -1,0 +1,162 @@
+// slot.go — refcounted data slots: the arena that makes zero-copy serving
+// safe.
+//
+// The simulation never stores block *contents*, so the DES runs a Cache
+// with SlotBytes == 0 and none of this exists. The live server does store
+// contents, and wants to hand them to the socket writer without copying:
+// a response frame references the slot's bytes directly and a vectored
+// write pushes them to the kernel. That reference outlives the kernel
+// operation that created it, so the cache needs an answer to "what if the
+// block is evicted, or written, while the writer still reads the bytes?"
+//
+// The answer is a pin count plus copy-on-write:
+//
+//   - The kernel goroutine pins a slot (refcount) when it enqueues a
+//     response descriptor; the session writer unpins after the vectored
+//     write returns. Pin/Unpin are the only cross-goroutine edges and are
+//     atomic, so the unpin that drops the count to zero happens-before
+//     any later mutation the kernel performs after observing zero.
+//   - Mutation goes through ExclusiveData: if the slot is pinned, the
+//     block's bytes move to a fresh slot and the pinned one is left
+//     frozen for the in-flight frames — responses always carry the bytes
+//     as they were when the read was served, which is what keeps the wire
+//     server byte-identical to the discrete-event oracle.
+//   - Freeing a pinned slot (eviction, file invalidation, session
+//     teardown) parks it on a zombie list; the next allocation sweeps
+//     zombies whose pins have drained back onto the free list.
+//
+// Slots are carved from one slab at construction (Capacity of them —
+// every cached block owns exactly one). Pins can transiently push demand
+// above Capacity (frames in flight while their blocks are rewritten or
+// evicted), in which case allocSlot falls back to the heap; the extra
+// slots recycle through the same free list, bounded by how many frames
+// the sessions can have in flight.
+
+package cache
+
+import "sync/atomic"
+
+// Slot is one block's worth of cached bytes, refcounted so response
+// frames can reference it after the kernel operation that served them
+// returns. The kernel goroutine owns the data; writers only Pin, read,
+// and Unpin.
+type Slot struct {
+	refs atomic.Int32
+	data []byte
+}
+
+// Data returns the slot's bytes. The caller must hold a pin (or be the
+// kernel goroutine) for the bytes to be stable.
+func (s *Slot) Data() []byte { return s.data }
+
+// Pin takes a reference: the bytes will not be mutated or recycled until
+// the matching Unpin. Called by the kernel goroutine before handing the
+// slot to a session writer.
+func (s *Slot) Pin() { s.refs.Add(1) }
+
+// Unpin drops a reference. Safe from any goroutine; the final Unpin
+// publishes (via the atomic) that readers are done, so a kernel-side
+// refs==0 check licenses mutation.
+func (s *Slot) Unpin() {
+	if s.refs.Add(-1) < 0 {
+		panic("cache: slot unpinned below zero")
+	}
+}
+
+// Pinned reports whether any reader still holds the slot (racy by
+// nature; exact only on the kernel goroutine).
+func (s *Slot) Pinned() bool { return s.refs.Load() != 0 }
+
+// Backs reports whether data is this slot's storage — the serve path's
+// check that a callback's bytes are still the cached block's current
+// slot (a detached fill or a copied-on-write block fails it).
+func (s *Slot) Backs(data []byte) bool {
+	return len(data) > 0 && len(s.data) > 0 && &s.data[0] == &data[0]
+}
+
+// initSlots carves Capacity slots out of one slab.
+func (c *Cache) initSlots() {
+	if c.slotSize <= 0 {
+		return
+	}
+	slab := make([]byte, c.cfg.Capacity*c.slotSize)
+	slots := make([]Slot, c.cfg.Capacity)
+	c.freeSlots = make([]*Slot, 0, c.cfg.Capacity)
+	for i := range slots {
+		slots[i].data = slab[i*c.slotSize : (i+1)*c.slotSize]
+		c.freeSlots = append(c.freeSlots, &slots[i])
+	}
+}
+
+// allocSlot returns a free slot, sweeping drained zombies first and
+// falling back to the heap when pins hold the whole arena hostage.
+func (c *Cache) allocSlot() *Slot {
+	if s := c.popFreeSlot(); s != nil {
+		return s
+	}
+	c.sweepZombies()
+	if s := c.popFreeSlot(); s != nil {
+		return s
+	}
+	return &Slot{data: make([]byte, c.slotSize)}
+}
+
+func (c *Cache) popFreeSlot() *Slot {
+	n := len(c.freeSlots)
+	if n == 0 {
+		return nil
+	}
+	s := c.freeSlots[n-1]
+	c.freeSlots[n-1] = nil
+	c.freeSlots = c.freeSlots[:n-1]
+	return s
+}
+
+// sweepZombies moves freed-while-pinned slots whose pins have drained
+// back onto the free list.
+func (c *Cache) sweepZombies() {
+	kept := c.zombies[:0]
+	for _, s := range c.zombies {
+		if s.refs.Load() == 0 {
+			c.freeSlots = append(c.freeSlots, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(c.zombies); i++ {
+		c.zombies[i] = nil
+	}
+	c.zombies = kept
+}
+
+// ReleaseSlot returns a slot to the pool once its holder is done with it:
+// the write-back path releases a detached victim slot after the store
+// write, and freeBuf releases a removed block's slot. A still-pinned slot
+// parks on the zombie list until its readers drain.
+func (c *Cache) ReleaseSlot(s *Slot) {
+	if s.refs.Load() != 0 {
+		c.zombies = append(c.zombies, s)
+		return
+	}
+	c.freeSlots = append(c.freeSlots, s)
+}
+
+// ExclusiveData returns b's bytes writable by the kernel goroutine. If
+// the current slot is pinned by in-flight response frames, the block
+// moves to a fresh copy (copy-on-write) and the pinned slot stays frozen
+// for its readers; cowed reports that the copy happened so the caller
+// can count it. Returns nil when the cache has no slots (SlotBytes == 0).
+func (c *Cache) ExclusiveData(b *Buf) (data []byte, cowed bool) {
+	s := b.Slot
+	if s == nil {
+		return nil, false
+	}
+	if s.refs.Load() == 0 {
+		return s.data, false
+	}
+	ns := c.allocSlot()
+	copy(ns.data, s.data)
+	b.Slot = ns
+	c.zombies = append(c.zombies, s)
+	return ns.data, true
+}

@@ -60,9 +60,14 @@ var (
 // the same block coalesce into one Fill through the waiter list: one
 // store read regardless of fan-in.
 type Fill struct {
-	ID   cache.BlockID
-	Data []byte // BlockSize bytes; the executor reads the block into it
-	Err  error  // set by the executor on I/O failure
+	ID cache.BlockID
+	// Data is the destination the executor reads the block into:
+	// BlockSize bytes, backed by the buffer's cache slot — the store
+	// read lands directly in the arena, no intermediate slice. A buffer
+	// evicted mid-fill keeps its (leaked) slot, so Data stays valid for
+	// the waiters either way.
+	Data []byte
+	Err  error // set by the executor on I/O failure
 
 	buf      *cache.Buf
 	done     bool
@@ -90,6 +95,12 @@ type WriteBack struct {
 	// Stalled marks a write-back the executor degraded to a synchronous
 	// inline write because its queue was full (the backpressure rule).
 	Stalled bool
+
+	// slot is the victim's detached cache slot backing Data, released to
+	// the slot pool by CompleteWriteBack. nil for a write-back whose
+	// bytes ride a leaked mid-fill slot instead (applyWrite's detached
+	// path).
+	slot *cache.Slot
 }
 
 // LiveConfig configures a Live kernel.
@@ -239,10 +250,11 @@ type Live struct {
 	epoch time.Time
 
 	owners []*liveOwner
-	// data holds the contents of every valid cached block. A block is in
-	// data iff it is cached and not mid-fill; the bytes move to the
-	// store on write-back and are dropped on clean eviction.
-	data map[cache.BlockID][]byte
+	// Block contents live in the cache's refcounted data slots
+	// (cache.Config.SlotBytes = BlockSize): every cached buffer owns a
+	// slot, dirty victims detach theirs for the write-back, and the
+	// server pins slots to serve responses zero-copy. See cache/slot.go.
+	//
 	// mshr is the miss-status-holding-register table: the in-flight fill
 	// per block. Concurrent requests for a mid-fill block join its
 	// waiter list instead of issuing another store read. A buffer
@@ -278,7 +290,6 @@ func NewLive(cfg LiveConfig) *Live {
 		store:      cfg.Store,
 		fsys:       fs.New(fs.Config{DiskBlocks: cfg.DiskBlocks}),
 		epoch:      time.Now(),
-		data:       make(map[cache.BlockID][]byte),
 		mshr:       make(map[cache.BlockID]*Fill),
 		pendingWB:  make(map[cache.BlockID]*WriteBack),
 		prefetched: make(map[cache.BlockID]bool),
@@ -289,6 +300,7 @@ func NewLive(cfg LiveConfig) *Live {
 		Alloc:          cfg.Alloc,
 		Revoke:         cfg.Revoke,
 		SharedTransfer: cfg.SharedFiles,
+		SlotBytes:      BlockSize,
 	}, l.ctl)
 	return l
 }
@@ -431,11 +443,6 @@ func (l *Live) Remove(owner int, name string) error {
 		return ErrNotFound
 	}
 	l.bc.InvalidateFile(f.ID())
-	for id := range l.data {
-		if id.File == f.ID() {
-			delete(l.data, id)
-		}
-	}
 	for id := range l.prefetched {
 		if id.File == f.ID() {
 			delete(l.prefetched, id)
@@ -446,28 +453,51 @@ func (l *Live) Remove(owner int, name string) error {
 
 // --- the read/write surface ---
 
-// Read reads size bytes at offset off within block blk. done receives
-// the whole block's bytes (the caller slices [off, off+size)), whether
-// the access hit, and any I/O error. done runs inline for hits and
-// synchronous fills, or later on the kernel goroutine when the fill is
-// asynchronous; the returned bool reports whether it already ran.
+// ReadReply receives a completed Read. The server's hot path implements
+// it with pooled descriptors so that a cache hit allocates nothing (a
+// func-typed callback parameter would escape — and so heap-allocate a
+// closure — at every call site, because the miss path stores it in the
+// fill's waiter list). Read is the func-based convenience wrapper.
+type ReadReply interface {
+	// ReadDone receives the whole block's bytes (the receiver slices
+	// [off, off+size)), whether the access hit, and any I/O error. It
+	// runs on the kernel goroutine — inline for hits and synchronous
+	// fills, later for asynchronous ones.
+	ReadDone(data []byte, hit bool, err error)
+}
+
+// funcReply adapts a plain callback to ReadReply. Func values are
+// pointer-shaped, so the interface conversion does not allocate.
+type funcReply func(data []byte, hit bool, err error)
+
+func (f funcReply) ReadDone(data []byte, hit bool, err error) { f(data, hit, err) }
+
+// Read is ReadTo with a func callback; see ReadTo.
+func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done func(data []byte, hit bool, err error)) bool {
+	return l.ReadTo(owner, fid, blk, off, size, funcReply(done))
+}
+
+// ReadTo reads size bytes at offset off within block blk, delivering the
+// result through reply. The returned bool reports whether ReadDone
+// already ran (false: an asynchronous fill will run it later, on the
+// kernel goroutine).
 //
 // The counter updates replicate Proc.Access exactly (with read-ahead
 // off): ReadCalls, then Hits, or Misses + DemandReads with the insert
 // protocol between them.
-func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done func(data []byte, hit bool, err error)) bool {
+func (l *Live) ReadTo(owner int, fid fs.FileID, blk int32, off, size int, reply ReadReply) bool {
 	o, err := l.owner(owner)
 	if err != nil {
-		done(nil, false, err)
+		reply.ReadDone(nil, false, err)
 		return true
 	}
 	f, ok := l.fsys.ByID(fid)
 	if !ok || f.Removed() {
-		done(nil, false, ErrNotFound)
+		reply.ReadDone(nil, false, ErrNotFound)
 		return true
 	}
 	if blk < 0 || int(blk) >= f.Size() || off < 0 || size < 0 || off+size > BlockSize {
-		done(nil, false, ErrOutOfRange)
+		reply.ReadDone(nil, false, ErrOutOfRange)
 		return true
 	}
 	o.stats.ReadCalls++
@@ -480,12 +510,12 @@ func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done fun
 			// Fill still in flight: coalesce onto it, as waitValid would.
 			if fl := l.mshr[id]; fl != nil && fl.buf == b {
 				l.fill.CoalescedMisses++
-				l.addWaiter(fl, func(data []byte, err error) { done(data, true, err) })
+				l.addWaiter(fl, func(data []byte, err error) { reply.ReadDone(data, true, err) })
 				l.noteSequential(o, f, blk, now)
 				return false
 			}
 		}
-		done(l.data[id], true, nil)
+		reply.ReadDone(b.Slot.Data(), true, nil)
 		l.noteSequential(o, f, blk, now)
 		return true
 	}
@@ -499,7 +529,7 @@ func (l *Live) Read(owner int, fid fs.FileID, blk int32, off, size int, done fun
 		if err == nil {
 			err = werr // the eviction this miss forced lost data
 		}
-		done(data, false, err)
+		reply.ReadDone(data, false, err)
 	})
 	l.dispatchFill(fl)
 	l.noteSequential(o, f, blk, now)
@@ -552,7 +582,7 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 				return false
 			}
 		}
-		copy(l.data[id][off:], payload)
+		copy(l.exclusiveData(b)[off:], payload)
 		l.bc.MarkDirty(b, l.Now())
 		done(true, nil)
 		return true
@@ -574,47 +604,81 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 		l.dispatchFill(fl)
 		return fl.done
 	}
-	block := make([]byte, BlockSize)
-	copy(block[off:], payload)
-	l.data[id] = block
+	data := b.Slot.Data()
+	if !whole {
+		// A grown block's unwritten bytes read as zeros; the recycled
+		// slot may hold stale ones.
+		clear(data)
+	}
+	copy(data[off:], payload)
 	l.bc.MarkDirty(b, l.Now())
 	done(false, werr)
 	return true
 }
 
-// applyWrite lands a write that was waiting on a fill. The payload is
-// copied into the fill's block (the same backing array CompleteFill
-// installed, when the buffer survived); if the buffer was evicted
-// mid-fill the bytes write through via the write-back path — never the
-// store directly, so a queued write-behind of the same block cannot land
-// after (and clobber) this fresher data.
+// exclusiveData returns b's bytes writable on the kernel goroutine: if
+// the block's slot is pinned by in-flight response frames the block
+// moves to a fresh copy first (the frames keep reading the bytes they
+// were served), counted as the zero-copy path's fallback.
+func (l *Live) exclusiveData(b *cache.Buf) []byte {
+	data, cowed := l.bc.ExclusiveData(b)
+	if cowed {
+		l.fill.WireCopyFallbacks++
+	}
+	return data
+}
+
+// CountWireFallback records a serve-path copy the server had to take (a
+// response whose buffer was evicted mid-fill is served from the detached
+// bytes). Kernel goroutine only.
+func (l *Live) CountWireFallback() { l.fill.WireCopyFallbacks++ }
+
+// applyWrite lands a write that was waiting on a fill. When the buffer
+// survived, the payload goes into the block's *current* slot (which
+// exclusiveData may just have moved off a pinned one — never into
+// fl.Data, whose slot could be the frozen pre-write copy); if the buffer
+// was evicted mid-fill the bytes write through via the write-back path —
+// never the store directly, so a queued write-behind of the same block
+// cannot land after (and clobber) this fresher data.
 func (l *Live) applyWrite(b *cache.Buf, fl *Fill, off int, payload []byte, err error) error {
 	if err != nil {
 		return err
 	}
-	copy(fl.Data[off:], payload)
 	if l.bc.Peek(fl.ID) == b {
+		copy(l.exclusiveData(b)[off:], payload)
 		l.bc.MarkDirty(b, l.Now())
 		return nil
 	}
-	return l.writeBack(fl.ID, fl.Data, cache.NoOwner)
+	copy(fl.Data[off:], payload)
+	return l.writeBack(fl.ID, nil, fl.Data, cache.NoOwner)
 }
 
 // --- the fill pipeline: MSHR, write-behind, read-ahead ---
 
 func (l *Live) newFill(buf *cache.Buf) *Fill {
 	buf.ValidAt = ioPending
-	fl := &Fill{ID: buf.ID, Data: make([]byte, BlockSize), buf: buf}
+	fl := &Fill{ID: buf.ID, Data: buf.Slot.Data(), buf: buf}
 	l.mshr[buf.ID] = fl
 	return fl
 }
 
 func (l *Live) addWaiter(fl *Fill, fn func(data []byte, err error)) {
 	if fl.done {
-		fn(fl.Data, fl.Err)
+		fn(l.fillData(fl), fl.Err)
 		return
 	}
 	fl.waiters = append(fl.waiters, fn)
+}
+
+// fillData returns the bytes a fill's waiter should see: the block's
+// current slot while the buffer is still cached — a coalesced write
+// ahead in the waiter list may have copy-on-written the block off the
+// slot the fill landed in — or the fill's own (detached) bytes.
+func (l *Live) fillData(fl *Fill) []byte {
+	if b := fl.buf; b != nil && b.Slot != nil && l.bc.Peek(fl.ID) == b {
+		return b.Slot.Data()
+	}
+	return fl.Data
 }
 
 // dispatchFill starts a fill's I/O. A block whose newest bytes are still
@@ -653,7 +717,6 @@ func (l *Live) CompleteFill(fl *Fill) {
 			l.bc.Drop(fl.buf)
 			delete(l.prefetched, fl.ID)
 		} else {
-			l.data[fl.ID] = fl.Data
 			fl.buf.ValidAt = 0
 		}
 	}
@@ -661,22 +724,22 @@ func (l *Live) CompleteFill(fl *Fill) {
 	ws := fl.waiters
 	fl.waiters = nil
 	for _, w := range ws {
-		w(fl.Data, fl.Err)
+		w(l.fillData(fl), fl.Err)
 	}
 }
 
-// flushVictim hands an evicted dirty block to the write-back path.
+// flushVictim hands an evicted dirty block to the write-back path. The
+// victim carries a detached slot exactly when it was dirty with valid
+// bytes; writeBack releases the slot once the bytes are safe.
 func (l *Live) flushVictim(v *cache.Victim) error {
 	if v == nil {
 		return nil
 	}
 	delete(l.prefetched, v.ID)
-	data := l.data[v.ID]
-	delete(l.data, v.ID)
-	if !v.Dirty || data == nil {
+	if v.Slot == nil {
 		return nil
 	}
-	return l.writeBack(v.ID, data, v.Owner)
+	return l.writeBack(v.ID, v.Slot, v.Slot.Data(), v.Owner)
 }
 
 // writeBack persists one evicted block's bytes. With a StartWriteBack
@@ -685,9 +748,9 @@ func (l *Live) flushVictim(v *cache.Victim) error {
 // executor re-enters through CompleteWriteBack. Without one the write
 // runs inline, and a failure is surfaced — counted, wrapped in
 // ErrWriteBack, never a panic — to the request that forced the eviction.
-func (l *Live) writeBack(id cache.BlockID, data []byte, owner int) error {
+func (l *Live) writeBack(id cache.BlockID, sl *cache.Slot, data []byte, owner int) error {
 	if swb := l.cfg.StartWriteBack; swb != nil {
-		wb := &WriteBack{ID: id, Data: data, Owner: owner}
+		wb := &WriteBack{ID: id, Data: data, Owner: owner, slot: sl}
 		_, wb.Conflict = l.pendingWB[id]
 		l.pendingWB[id] = wb
 		l.wbOutstanding++
@@ -698,7 +761,11 @@ func (l *Live) writeBack(id cache.BlockID, data []byte, owner int) error {
 		swb(wb)
 		return nil
 	}
-	if err := l.store.WriteBlock(int32(id.File), id.Num, data); err != nil {
+	err := l.store.WriteBlock(int32(id.File), id.Num, data)
+	if sl != nil {
+		l.bc.ReleaseSlot(sl)
+	}
+	if err != nil {
 		l.fill.WritebackErrors++
 		return fmt.Errorf("%w: block %v: %v", ErrWriteBack, id, err)
 	}
@@ -714,6 +781,10 @@ func (l *Live) writeBack(id cache.BlockID, data []byte, owner int) error {
 func (l *Live) CompleteWriteBack(wb *WriteBack) {
 	if l.pendingWB[wb.ID] == wb {
 		delete(l.pendingWB, wb.ID)
+	}
+	if wb.slot != nil {
+		l.bc.ReleaseSlot(wb.slot)
+		wb.slot = nil
 	}
 	l.wbOutstanding--
 	if wb.Stalled {
@@ -799,12 +870,14 @@ func (l *Live) FlushDirty(cutoff sim.Time) (int, error) {
 	n := 0
 	var firstErr error
 	for _, b := range l.bc.DirtyOlderThan(cutoff) {
-		data := l.data[b.ID]
-		if data == nil {
+		if b.Slot == nil {
 			l.bc.Clean(b)
 			continue
 		}
-		if err := l.store.WriteBlock(int32(b.ID.File), b.ID.Num, data); err != nil {
+		// Reading the slot for the store write is safe against pinned
+		// in-flight frames (reads both); the kernel goroutine is the only
+		// writer.
+		if err := l.store.WriteBlock(int32(b.ID.File), b.ID.Num, b.Slot.Data()); err != nil {
 			l.fill.WritebackErrors++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: block %v: %v", ErrWriteBack, b.ID, err)
@@ -939,9 +1012,7 @@ func (l *Live) CheckInvariants() {
 	l.bc.CheckInvariants()
 	l.ctl.CheckInvariants()
 	now := l.Now()
-	cached := make(map[cache.BlockID]bool)
 	for _, id := range l.bc.GlobalOrder() {
-		cached[id] = true
 		b := l.bc.Peek(id)
 		if b == nil {
 			panic(fmt.Sprintf("core: GlobalOrder lists %v but Peek misses", id))
@@ -950,8 +1021,8 @@ func (l *Live) CheckInvariants() {
 			if fl := l.mshr[id]; fl == nil || fl.buf != b {
 				panic(fmt.Sprintf("core: cached busy block %v has no MSHR entry", id))
 			}
-		} else if l.data[id] == nil {
-			panic(fmt.Sprintf("core: cached valid block %v has no data", id))
+		} else if b.Slot == nil {
+			panic(fmt.Sprintf("core: cached valid block %v has no data slot", id))
 		}
 		if b.Owner != cache.NoOwner {
 			if b.Owner < 0 || b.Owner >= len(l.owners) || !l.owners[b.Owner].live {
@@ -959,17 +1030,17 @@ func (l *Live) CheckInvariants() {
 			}
 		}
 	}
-	for id := range l.data {
-		if !cached[id] {
-			panic(fmt.Sprintf("core: data held for uncached block %v", id))
-		}
-	}
 	for id, fl := range l.mshr {
 		if id != fl.ID {
 			panic(fmt.Sprintf("core: MSHR entry for %v holds fill for %v", id, fl.ID))
 		}
-		if l.bc.Peek(fl.ID) == fl.buf && !fl.buf.Busy(now) {
-			panic(fmt.Sprintf("core: cached block %v has a fill but is not busy", fl.ID))
+		if l.bc.Peek(fl.ID) == fl.buf {
+			if !fl.buf.Busy(now) {
+				panic(fmt.Sprintf("core: cached block %v has a fill but is not busy", fl.ID))
+			}
+			if fl.buf.Slot == nil || !fl.buf.Slot.Backs(fl.Data) {
+				panic(fmt.Sprintf("core: in-flight fill for %v detached from its buffer's slot", fl.ID))
+			}
 		}
 	}
 	for id, wb := range l.pendingWB {

@@ -24,6 +24,9 @@ import (
 // use.
 type Store interface {
 	// ReadBlock fills dst (len BlockSize) with the block's contents.
+	// dst is typically an arena-backed cache slot (the fill path reads
+	// straight into the buffer the cache will serve from); implementations
+	// must not retain it past the call.
 	ReadBlock(file int32, blk int32, dst []byte) error
 	// WriteBlock persists src (len BlockSize) as the block's contents.
 	WriteBlock(file int32, blk int32, src []byte) error
@@ -168,13 +171,15 @@ func (s *FileStore) ReadBlock(file, blk int32, dst []byte) error {
 	return err
 }
 
-// WriteBlock implements Store.
+// WriteBlock implements Store. The mutex covers only the slot map;
+// once a block's slot offset is assigned it never changes, so the
+// pwrite itself runs unlocked — concurrent write-behind flushes and
+// fill preads overlap instead of serializing on the map lock.
 func (s *FileStore) WriteBlock(file, blk int32, src []byte) error {
 	if len(src) != BlockSize {
 		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(src), BlockSize)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	k := storeKey(file, blk)
 	off, ok := s.slots[k]
 	if !ok {
@@ -182,6 +187,7 @@ func (s *FileStore) WriteBlock(file, blk int32, src []byte) error {
 		s.next += BlockSize
 		s.slots[k] = off
 	}
+	s.mu.Unlock()
 	_, err := s.f.WriteAt(src, off)
 	return err
 }

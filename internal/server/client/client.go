@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -78,6 +79,9 @@ type Conn struct {
 	bw     *bufio.Writer
 	br     *bufio.Reader
 	nextID uint32
+	// scratch encodes a read request (9-byte frame header + 13-byte
+	// body) in one piece, so ReadInto writes no per-call buffers.
+	scratch [22]byte
 }
 
 // Dial connects to an acfcd server ("unix", "/path" or "tcp", "addr").
@@ -190,6 +194,62 @@ func (c *Conn) Read(f fs.FileID, blk int32, off, size int) (data []byte, hit boo
 		return nil, false, fmt.Errorf("%w: read: %d-byte response, want %d", ErrBadFrame, len(resp), 1+size)
 	}
 	return resp[1:], resp[0]&server.FlagHit != 0, nil
+}
+
+// ReadInto reads size bytes at off within block blk into dst[:size],
+// which the caller owns and reuses across calls: the steady-state
+// read path allocates nothing on either side of the wire (the server
+// serves hits scatter/gather from its cache arena, this client lands
+// them in the caller's buffer). Requires len(dst) >= size.
+func (c *Conn) ReadInto(f fs.FileID, blk int32, off, size int, dst []byte) (hit bool, err error) {
+	if len(dst) < size {
+		return false, fmt.Errorf("%w: read: %d-byte buffer for %d-byte read", ErrBadFrame, len(dst), size)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	b := c.scratch[:]
+	put32(b[0:], uint32(server.FrameOverhead+13))
+	put32(b[4:], id)
+	b[8] = server.OpRead
+	put32(b[9:], uint32(f))
+	put32(b[13:], uint32(blk))
+	put16(b[17:], uint16(off))
+	put16(b[19:], uint16(size))
+	b[21] = 0
+	if _, err := c.bw.Write(b); err != nil {
+		return false, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return false, err
+	}
+	gotID, status, n, err := server.ReadFrameHeader(c.br)
+	if err != nil {
+		return false, err
+	}
+	if gotID != id {
+		return false, fmt.Errorf("%w: response id %d for request %d", ErrBadFrame, gotID, id)
+	}
+	if status != server.StatusOK {
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(c.br, msg); err != nil {
+			return false, err
+		}
+		return false, &StatusError{Status: status, Msg: string(msg)}
+	}
+	if n != 1+size {
+		c.br.Discard(n)
+		return false, fmt.Errorf("%w: read: %d-byte response, want %d", ErrBadFrame, n, 1+size)
+	}
+	flags, err := c.br.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	if _, err := io.ReadFull(c.br, dst[:size]); err != nil {
+		return false, err
+	}
+	return flags&server.FlagHit != 0, nil
 }
 
 // ReadNoData performs the access without transferring the bytes back:

@@ -50,9 +50,11 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Opcodes (request tag).
@@ -133,13 +135,13 @@ const (
 // write (header + 13 bytes of fields + one 8 KB block).
 const MaxFrame = 16 * 1024
 
-// frameOverhead is the id+tag part covered by the length prefix.
-const frameOverhead = 5
+// FrameOverhead is the id+tag part covered by the length prefix.
+const FrameOverhead = 5
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, id uint32, tag uint8, body []byte) error {
 	var hdr [9]byte
-	binary.BigEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(body)))
+	binary.BigEndian.PutUint32(hdr[0:], uint32(FrameOverhead+len(body)))
 	binary.BigEndian.PutUint32(hdr[4:], id)
 	hdr[8] = tag
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -160,18 +162,84 @@ func ReadFrame(r io.Reader) (id uint32, tag uint8, body []byte, err error) {
 		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[0:])
-	if n < frameOverhead || n > MaxFrame {
+	if n < FrameOverhead || n > MaxFrame {
 		return 0, 0, nil, fmt.Errorf("server: bad frame length %d", n)
 	}
 	id = binary.BigEndian.Uint32(hdr[4:])
 	tag = hdr[8]
-	if n > frameOverhead {
-		body = make([]byte, n-frameOverhead)
+	if n > FrameOverhead {
+		body = make([]byte, n-FrameOverhead)
 		if _, err = io.ReadFull(r, body); err != nil {
 			return 0, 0, nil, err
 		}
 	}
 	return id, tag, body, nil
+}
+
+// ReadFrameHeader reads and validates one frame's 9-byte header from br,
+// leaving the body (bodyLen bytes) unconsumed on the stream. Unlike
+// ReadFrame it allocates nothing — Peek/Discard keep the header inside
+// the bufio buffer — so the caller can read the body into recycled
+// storage (the server's frame-buffer pool, a client's caller-owned
+// slice).
+func ReadFrameHeader(br *bufio.Reader) (id uint32, tag uint8, bodyLen int, err error) {
+	hdr, err := br.Peek(9)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n < FrameOverhead || n > MaxFrame {
+		return 0, 0, 0, fmt.Errorf("server: bad frame length %d", n)
+	}
+	id = binary.BigEndian.Uint32(hdr[4:])
+	tag = hdr[8]
+	br.Discard(9)
+	return id, tag, int(n) - FrameOverhead, nil
+}
+
+// frameBuf is one pooled request-body buffer. Pooling is by size class
+// so a stream of 13-byte reads never rents 16 KB buffers, and the
+// pointer (not the slice) round-trips through the pool so a put does not
+// allocate a fresh header.
+type frameBuf struct{ b []byte }
+
+// bodyClasses are the pooled body capacities: small control ops, names,
+// a block-read body plus change, and the whole-block write ceiling.
+var bodyClasses = [...]int{64, 1024, 8704, MaxFrame - FrameOverhead}
+
+var bodyPools [len(bodyClasses)]sync.Pool
+
+func init() {
+	for i, size := range bodyClasses {
+		size := size
+		bodyPools[i].New = func() any { return &frameBuf{b: make([]byte, size)} }
+	}
+}
+
+// getFrameBuf rents a buffer with capacity for n body bytes.
+func getFrameBuf(n int) *frameBuf {
+	for i, size := range bodyClasses {
+		if n <= size {
+			return bodyPools[i].Get().(*frameBuf)
+		}
+	}
+	// Unreachable while MaxFrame-FrameOverhead is the top class; kept so
+	// a larger future frame degrades to an allocation, not a panic.
+	return &frameBuf{b: make([]byte, n)}
+}
+
+// putFrameBuf returns a rented buffer to its size-class pool.
+func putFrameBuf(fb *frameBuf) {
+	fb.b = fb.b[:cap(fb.b)]
+	for i, size := range bodyClasses {
+		if cap(fb.b) == size {
+			bodyPools[i].Put(fb)
+			return
+		}
+	}
 }
 
 // be32 / be16 are tiny read helpers for request parsing; the caller has

@@ -1,0 +1,5 @@
+//go:build !race
+
+package server_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package server_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates on paths that are
+// alloc-free in a normal build, so allocation gates don't apply.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/acm"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/fs"
@@ -115,18 +117,56 @@ type Metrics struct {
 	Sessions           []SessionInfo
 }
 
-// request is one decoded frame from a session.
+// request is one decoded frame from a session. Requests are pooled:
+// body is backed by fb (a size-classed pooled buffer) and both recycle
+// through releaseRequest once the handler is done with the bytes.
 type request struct {
 	id   uint32
 	op   uint8
 	body []byte
+	fb   *frameBuf // pooled storage behind body; nil for empty bodies
 }
 
-// outFrame is one response queued to a session's writer.
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
+// releaseRequest returns a request and its body buffer to their pools.
+// Called exactly once per request: by the shard loop after a handler
+// that did not retain it, by the retaining handler's completion
+// callback (handleWrite, whose payload aliases body until the kernel
+// consumes it), by the dispatcher for reader-orchestrated ops, or by
+// the reader itself when the request dies before dispatch.
+func releaseRequest(r *request) {
+	if r.fb != nil {
+		putFrameBuf(r.fb)
+		r.fb = nil
+	}
+	r.body = nil
+	requestPool.Put(r)
+}
+
+// outFrame is one response queued to a session's writer. Two shapes:
+// an owned frame (body is the writer's to read, slot nil) or a
+// zero-copy read response (slot non-nil: payload aliases the pinned
+// cache slot's bytes and flags is the response flags byte, both encoded
+// by the writer at flush; body stays nil).
 type outFrame struct {
-	id   uint32
-	tag  uint8
-	body []byte
+	id      uint32
+	tag     uint8
+	flags   uint8
+	body    []byte
+	payload []byte
+	slot    *cache.Slot
+}
+
+// flagBodies are the two flag-only response bodies (miss, hit), shared
+// and immutable so read-nodata and write responses allocate nothing.
+var flagBodies = [2][]byte{{0}, {FlagHit}}
+
+func flagBody(hit bool) []byte {
+	if hit {
+		return flagBodies[1]
+	}
+	return flagBodies[0]
 }
 
 // session is one client connection = one cache owner (one owner id per
@@ -179,6 +219,23 @@ func (s *session) send(id uint32, tag uint8, body []byte) {
 		s.out <- outFrame{id: id, tag: tag, body: body}
 	}
 	s.outMu.RUnlock()
+}
+
+// sendZC queues a zero-copy read response: the payload slice aliases
+// sl's bytes, pinned here (on the kernel goroutine, so the pin is
+// ordered before any later mutation of the block) and unpinned by the
+// writer after the vectored write — or right here when every shard has
+// already closed the session and the frame is dropped.
+func (s *session) sendZC(id uint32, flags uint8, sl *cache.Slot, payload []byte) {
+	sl.Pin()
+	s.outMu.RLock()
+	if !s.outClosed {
+		s.out <- outFrame{id: id, tag: StatusOK, flags: flags, payload: payload, slot: sl}
+		s.outMu.RUnlock()
+		return
+	}
+	s.outMu.RUnlock()
+	sl.Unpin()
 }
 
 func (s *session) sendErr(id uint32, err error) {
@@ -428,9 +485,19 @@ func (se *session) readLoop() {
 	br := bufio.NewReaderSize(se.conn, MaxFrame)
 	for {
 		se.conn.SetReadDeadline(time.Now().Add(se.srv.cfg.IdleTimeout))
-		id, op, body, err := ReadFrame(br)
+		id, op, n, err := ReadFrameHeader(br)
 		if err != nil {
 			break
+		}
+		r := requestPool.Get().(*request)
+		r.id, r.op = id, op
+		if n > 0 {
+			r.fb = getFrameBuf(n)
+			r.body = r.fb.b[:n]
+			if _, err := io.ReadFull(br, r.body); err != nil {
+				releaseRequest(r)
+				break
+			}
 		}
 		select {
 		case <-se.tokens:
@@ -440,8 +507,9 @@ func (se *session) readLoop() {
 		case <-se.die:
 			// Don't enqueue after kill: the close messages must be the
 			// session's last in every shard.
+			releaseRequest(r)
 		default:
-			se.srv.dispatch(se, &request{id: id, op: op, body: body})
+			se.srv.dispatch(se, r)
 			continue
 		}
 		break
@@ -460,9 +528,13 @@ func (se *session) readLoop() {
 func (s *Server) dispatch(se *session, r *request) {
 	switch r.op {
 	case OpControl, OpSetPolicy:
+		// Both complete (every shard round-trip included) before
+		// returning, so the request recycles here.
 		s.broadcastCtl(se, r)
+		releaseRequest(r)
 	case OpStats:
 		s.aggregateStats(se, r)
+		releaseRequest(r)
 	default:
 		s.shardFor(r.op, r.body).kch <- kmsg{sess: se, req: r}
 	}
@@ -631,23 +703,26 @@ func (s *Server) aggregateStats(se *session, r *request) {
 
 func (se *session) writeLoop() {
 	// Keep draining out even after a write error: the shards' sends and
-	// the reader's tokens both depend on this loop consuming. Frames
-	// accumulate in bw while more responses are already queued and flush
-	// when the queue goes idle — pipelined bursts pay one syscall, a
-	// lone round-trip still flushes immediately.
-	bw := bufio.NewWriterSize(se.conn, 2*MaxFrame)
+	// the reader's tokens both depend on this loop consuming (a dead
+	// connection just surrenders each frame's slot pin). Frames batch in
+	// the frameWriter while more responses are already queued and flush
+	// when the queue goes idle — a pipelined burst of reads becomes one
+	// vectored write straight from the cache arena, a lone round-trip
+	// still flushes immediately.
+	w := newFrameWriter(se.conn, se.srv.cfg.WriteTimeout)
 	dead := false
-	fail := func() {
-		dead = true
-		se.kill()
-	}
 	for f := range se.out {
 		for more := true; more; {
-			if !dead {
-				se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
-				if err := WriteFrame(bw, f.id, f.tag, f.body); err != nil {
-					fail()
+			if !dead && w.full() {
+				if err := w.flush(); err != nil {
+					dead = true
+					se.kill()
 				}
+			}
+			if dead {
+				releaseFrame(&f)
+			} else {
+				w.add(&f)
 			}
 			select {
 			case se.tokens <- struct{}{}:
@@ -664,10 +739,10 @@ func (se *session) writeLoop() {
 				more = false
 			}
 		}
-		if !dead && bw.Buffered() > 0 {
-			se.conn.SetWriteDeadline(time.Now().Add(se.srv.cfg.WriteTimeout))
-			if err := bw.Flush(); err != nil {
-				fail()
+		if !dead {
+			if err := w.flush(); err != nil {
+				dead = true
+				se.kill()
 			}
 		}
 	}
@@ -816,7 +891,9 @@ func (sh *shard) loop() {
 			sh.closeSession(m.sess)
 			sh.maybeRetire()
 		case m.sess != nil && m.req != nil:
-			sh.handle(m.sess, m.req)
+			if !sh.handle(m.sess, m.req) {
+				releaseRequest(m.req)
+			}
 		}
 	}
 }
@@ -943,12 +1020,17 @@ func (sh *shard) local(wire fs.FileID) fs.FileID {
 	return wire / fs.FileID(len(sh.srv.shards))
 }
 
-func (sh *shard) handle(se *session, r *request) {
+// handle runs one request on the shard goroutine. It reports whether
+// the handler retained r past its return (handleWrite, whose payload
+// aliases r.body until the kernel's completion callback); when false,
+// the shard loop recycles r immediately — so handlers that complete
+// asynchronously (handleRead) must copy what they need out of r first.
+func (sh *shard) handle(se *session, r *request) (retained bool) {
 	sh.requests++
 	if sh.draining {
 		sh.refused++
 		se.send(r.id, StatusRefused, []byte("server shutting down"))
-		return
+		return false
 	}
 	switch r.op {
 	case OpPing:
@@ -960,11 +1042,11 @@ func (sh *shard) handle(se *session, r *request) {
 	case OpRead:
 		sh.handleRead(se, r)
 	case OpWrite:
-		sh.handleWrite(se, r)
+		return sh.handleWrite(se, r)
 	case OpClose:
 		if len(r.body) != 4 {
 			se.send(r.id, StatusBadRequest, []byte("close: want 4-byte body"))
-			return
+			return false
 		}
 		// Close is advisory in this kernel (blocks stay cached, as in
 		// the paper, until evicted or the owner disconnects).
@@ -972,7 +1054,7 @@ func (sh *shard) handle(se *session, r *request) {
 	case OpRemove:
 		if err := sh.kern.Remove(se.owners[sh.idx], string(r.body)); err != nil {
 			se.sendErr(r.id, err)
-			return
+			return false
 		}
 		se.send(r.id, StatusOK, nil)
 	case OpSetPriority, OpGetPriority, OpGetPolicy, OpSetTempPri:
@@ -980,6 +1062,7 @@ func (sh *shard) handle(se *session, r *request) {
 	default:
 		se.send(r.id, StatusBadRequest, []byte(fmt.Sprintf("unknown op %d", r.op)))
 	}
+	return false
 }
 
 func (sh *shard) handleOpen(se *session, r *request) {
@@ -1017,6 +1100,55 @@ func (sh *shard) handleCreate(se *session, r *request) {
 	se.send(r.id, StatusOK, resp)
 }
 
+// readCtx is one in-flight read's reply state, pooled so the hot path
+// allocates nothing. It copies every field it needs out of the request
+// (which recycles when the handler returns) and implements
+// core.ReadReply; the kernel invokes ReadDone on the shard goroutine,
+// either inline (hit) or when the fill completes.
+type readCtx struct {
+	sh    *shard
+	se    *session
+	id    uint32
+	off   int
+	size  int
+	flags uint8
+	bid   cache.BlockID
+}
+
+var readCtxPool = sync.Pool{New: func() any { return new(readCtx) }}
+
+func (rc *readCtx) ReadDone(data []byte, hit bool, err error) {
+	sh, se, id := rc.sh, rc.se, rc.id
+	off, size, flags, bid := rc.off, rc.size, rc.flags, rc.bid
+	readCtxPool.Put(rc)
+	if err != nil {
+		se.sendErr(id, err)
+		return
+	}
+	if flags&ReadNoData != 0 {
+		se.send(id, StatusOK, flagBody(hit))
+		return
+	}
+	var fl uint8
+	if hit {
+		fl = FlagHit
+	}
+	// Zero-copy when the bytes still live in the cached buffer's slot:
+	// running on the kernel goroutine, nothing can evict or mutate the
+	// block between this check and the pin inside sendZC. A fill whose
+	// buffer was stolen mid-flight hands us a detached copy instead
+	// (data no longer backs the cached slot) — serve that by value.
+	if b := sh.kern.Cache().Peek(bid); b != nil && b.Slot != nil && b.Slot.Backs(data) {
+		se.sendZC(id, fl, b.Slot, data[off:off+size])
+		return
+	}
+	sh.kern.CountWireFallback()
+	resp := make([]byte, 1+size)
+	resp[0] = fl
+	copy(resp[1:], data[off:off+size])
+	se.send(id, StatusOK, resp)
+}
+
 func (sh *shard) handleRead(se *session, r *request) {
 	if len(r.body) != 13 {
 		se.send(r.id, StatusBadRequest, []byte("read: want 13-byte body"))
@@ -1024,35 +1156,23 @@ func (sh *shard) handleRead(se *session, r *request) {
 	}
 	fid := sh.local(fs.FileID(be32(r.body[0:])))
 	blk := int32(be32(r.body[4:]))
-	off := int(be16(r.body[8:]))
-	size := int(be16(r.body[10:]))
-	flags := r.body[12]
-	sh.kern.Read(se.owners[sh.idx], fid, blk, off, size, func(data []byte, hit bool, err error) {
-		if err != nil {
-			se.sendErr(r.id, err)
-			return
-		}
-		var resp []byte
-		if flags&ReadNoData != 0 {
-			resp = make([]byte, 1)
-		} else {
-			// Copy now: data aliases the cached block, which later
-			// writes mutate, and the writer goroutine serializes resp
-			// after this callback returns.
-			resp = make([]byte, 1+size)
-			copy(resp[1:], data[off:off+size])
-		}
-		if hit {
-			resp[0] = FlagHit
-		}
-		se.send(r.id, StatusOK, resp)
-	})
+	rc := readCtxPool.Get().(*readCtx)
+	*rc = readCtx{
+		sh:    sh,
+		se:    se,
+		id:    r.id,
+		off:   int(be16(r.body[8:])),
+		size:  int(be16(r.body[10:])),
+		flags: r.body[12],
+		bid:   cache.BlockID{File: fid, Num: blk},
+	}
+	sh.kern.ReadTo(se.owners[sh.idx], fid, blk, rc.off, rc.size, rc)
 }
 
-func (sh *shard) handleWrite(se *session, r *request) {
+func (sh *shard) handleWrite(se *session, r *request) bool {
 	if len(r.body) < 12 {
 		se.send(r.id, StatusBadRequest, []byte("write: short body"))
-		return
+		return false
 	}
 	fid := sh.local(fs.FileID(be32(r.body[0:])))
 	blk := int32(be32(r.body[4:]))
@@ -1060,20 +1180,23 @@ func (sh *shard) handleWrite(se *session, r *request) {
 	dlen := int(be16(r.body[10:]))
 	if len(r.body) != 12+dlen {
 		se.send(r.id, StatusBadRequest, []byte("write: length mismatch"))
-		return
+		return false
 	}
 	payload := r.body[12:]
+	id := r.id
+	// The request is retained until the kernel has consumed payload
+	// (which aliases r.body): on every completion path — hit, filled
+	// miss, error — the copy into the cache happens before this
+	// callback runs, so releasing here is safe.
 	sh.kern.Write(se.owners[sh.idx], fid, blk, off, payload, func(hit bool, err error) {
+		releaseRequest(r)
 		if err != nil {
-			se.sendErr(r.id, err)
+			se.sendErr(id, err)
 			return
 		}
-		resp := make([]byte, 1)
-		if hit {
-			resp[0] = FlagHit
-		}
-		se.send(r.id, StatusOK, resp)
+		se.send(id, StatusOK, flagBody(hit))
 	})
+	return true
 }
 
 func (sh *shard) handleFbehavior(se *session, r *request) {

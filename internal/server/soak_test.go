@@ -218,6 +218,15 @@ func soakSession(addr string, id, rounds, fileBlocks int) error {
 		if _, err := c.ReadNoData(shared.ID, b, 0, 1); err != nil {
 			return fmt.Errorf("round %d shared read: %w", r, err)
 		}
+		if r%5 == 4 {
+			// Rewrite the shared block with its own value: harmless to the
+			// final content check, but when another session's zero-copy
+			// response frame still pins the block's slot this forces the
+			// copy-on-write path under full concurrency.
+			if _, err := c.Write(shared.ID, b, 0, []byte{byte(b)}); err != nil {
+				return fmt.Errorf("round %d shared write: %w", r, err)
+			}
+		}
 		if err := c.SetTempPri(shared.ID, b, b+4, 0); err != nil {
 			return fmt.Errorf("round %d settemppri: %w", r, err)
 		}
@@ -236,13 +245,22 @@ func soakSession(addr string, id, rounds, fileBlocks int) error {
 // sabotage opens a raw connection, pipelines a burst of slow reads, and
 // slams the connection shut without reading a single response — the
 // worst-behaved client the revoke path must absorb while fills for its
-// session are still in flight.
+// session are still in flight. Even rounds pipeline cold misses on a
+// private file (mid-fill disconnect); odd rounds pipeline full-data
+// reads of the shared file and hang up with zero-copy response frames
+// pinning slots that concurrent writers and the tiny cache's evictions
+// are fighting over (eviction-during-send: the dropped frames must
+// surrender their pins, the pinned slots must zombie and recycle).
 func sabotage(addr string, id, round int) error {
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer raw.Close()
+
+	if round%2 == 1 {
+		return sabotageSharedReads(raw)
+	}
 
 	name := fmt.Sprintf("sab%d-%d", id, round)
 	body := make([]byte, 5+len(name))
@@ -270,6 +288,33 @@ func sabotage(addr string, id, round int) error {
 		rd[11] = 1 // size
 		if err := server.WriteFrame(raw, uint32(2+b), server.OpRead, rd); err != nil {
 			return nil // server may have raced the close; that's the point
+		}
+	}
+	return nil
+}
+
+// sabotageSharedReads pipelines whole-block reads of the shared file and
+// abandons the connection without consuming the responses.
+func sabotageSharedReads(raw net.Conn) error {
+	if err := server.WriteFrame(raw, 1, server.OpOpen, []byte("shared")); err != nil {
+		return err
+	}
+	_, status, resp, err := server.ReadFrame(raw)
+	if err != nil {
+		return err
+	}
+	if status != server.StatusOK {
+		return fmt.Errorf("open shared: %s", server.StatusName(status))
+	}
+	fid := uint32(resp[0])<<24 | uint32(resp[1])<<16 | uint32(resp[2])<<8 | uint32(resp[3])
+
+	rd := make([]byte, 13)
+	rd[0], rd[1], rd[2], rd[3] = byte(fid>>24), byte(fid>>16), byte(fid>>8), byte(fid)
+	rd[10] = byte(core.BlockSize >> 8) // size: the whole block, real payloads
+	for b := 0; b < 16; b++ {
+		rd[7] = byte(b % 24)
+		if err := server.WriteFrame(raw, uint32(2+b), server.OpRead, rd); err != nil {
+			return nil
 		}
 	}
 	return nil

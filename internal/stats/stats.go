@@ -62,6 +62,11 @@ type FillStats struct {
 	WritebackQueueHighWater int64 `json:"writeback_queue_high_water"`
 	WritebackStalls         int64 `json:"writeback_stalls"`
 	WritebackErrors         int64 `json:"writeback_errors"`
+	// WireCopyFallbacks counts the times the zero-copy serve path had to
+	// copy after all: a write landed on a block whose slot was pinned by
+	// in-flight response frames (copy-on-write), or a response outlived
+	// its buffer (mid-fill eviction) and was served from a detached copy.
+	WireCopyFallbacks int64 `json:"wire_copy_fallbacks"`
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
@@ -77,6 +82,7 @@ func (s *FillStats) Accumulate(o FillStats) {
 	}
 	s.WritebackStalls += o.WritebackStalls
 	s.WritebackErrors += o.WritebackErrors
+	s.WireCopyFallbacks += o.WireCopyFallbacks
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
