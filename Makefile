@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot serve loadtest experiments charts fuzz fuzz-frames clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot bench-server-cold serve loadtest experiments charts fuzz fuzz-frames clean outputs
 
 all: check
 
@@ -13,7 +13,7 @@ all: check
 check: vet test race-hot fuzz-frames
 
 race-hot:
-	$(GO) test -race ./internal/expt ./internal/core ./internal/server
+	$(GO) test -race ./internal/expt ./internal/core ./internal/server ./internal/disk
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,14 @@ bench-server-shards:
 # read-ahead), appended as a `hot_block` section to BENCH_server.json.
 bench-server-hot:
 	$(GO) run ./cmd/acload -selfserve -json -hot > BENCH_server.json
+
+# The standard sweep plus the cold-fill scenario: 16 clients scanning
+# pre-populated files through an empty cache, so every request funnels
+# through the fill path. Each backend (latency-injected mem store, file
+# store) runs unbatched (goroutine per fill) and batched (worker pool +
+# run coalescing into preadv), appended as a `cold_fill` section.
+bench-server-cold:
+	$(GO) run ./cmd/acload -selfserve -json -cold > BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -130,6 +130,15 @@ type LiveConfig struct {
 	// and any single-threaded embedding use.
 	StartFill func(fl *Fill)
 
+	// StartFillBatch, when non-nil alongside StartFill, receives a whole
+	// read-ahead run (same file, ascending blocks) in one call, letting
+	// the executor retire it as a single vectored store read. Each fill
+	// in the batch carries the usual contract: produce Data or Err, then
+	// CompleteFill on the kernel goroutine. Nil means runs degrade to
+	// per-fill StartFill calls — semantically identical, just one store
+	// op per block.
+	StartFillBatch func(fls []*Fill)
+
 	// StartWriteBack, when non-nil, executes dirty-victim write-backs
 	// asynchronously: it must arrange for the store write and for
 	// CompleteWriteBack(wb) to then be called on the kernel goroutine.
@@ -233,6 +242,12 @@ type liveOwner struct {
 	// lastRead is the per-file sequential-run detector for read-ahead,
 	// per owner exactly as the DES keeps it per process.
 	lastRead map[fs.FileID]int32
+	// raUntil is the highest block already scheduled for read-ahead on
+	// each sequential run: the leading edge of the prefetch window. The
+	// window refills half-a-depth at a time so prefetches arrive as
+	// multi-block runs the batch executor can vector, instead of the
+	// one-block top-ups a per-read scheme degenerates to.
+	raUntil map[fs.FileID]int32
 }
 
 // Live is the real-clock kernel: one buffer cache plus ACM, a file
@@ -633,6 +648,29 @@ func (l *Live) exclusiveData(b *cache.Buf) []byte {
 // bytes). Kernel goroutine only.
 func (l *Live) CountWireFallback() { l.fill.WireCopyFallbacks++ }
 
+// CountFillBatch records one multi-block store read issued by the fill
+// executor: a run of blocks fills retired as one vectored call. Kernel
+// goroutine only.
+func (l *Live) CountFillBatch(blocks int) {
+	l.fill.BatchedFills++
+	l.fill.FillBatchBlocks += int64(blocks)
+}
+
+// CountWritebackBatches records n multi-block runs the write-behind
+// flusher retired with vectored store writes. Kernel goroutine only.
+func (l *Live) CountWritebackBatches(n int) {
+	l.fill.WritebackBatches += int64(n)
+}
+
+// NoteFillQueueDepth tracks the fill queue's high-water mark: how far
+// the bounded worker pool fell behind the miss stream. Kernel goroutine
+// only.
+func (l *Live) NoteFillQueueDepth(depth int) {
+	if int64(depth) > l.fill.FillQueueHighWater {
+		l.fill.FillQueueHighWater = int64(depth)
+	}
+}
+
 // applyWrite lands a write that was waiting on a fill. When the buffer
 // survived, the payload goes into the block's *current* slot (which
 // exclusiveData may just have moved off a pinned one — never into
@@ -681,15 +719,25 @@ func (l *Live) fillData(fl *Fill) []byte {
 	return fl.Data
 }
 
-// dispatchFill starts a fill's I/O. A block whose newest bytes are still
-// sitting in the write-behind queue is served straight from that buffer —
-// the store's copy is stale until the flusher lands it, and the copy
-// costs no I/O at all.
-func (l *Live) dispatchFill(fl *Fill) {
+// stageFill resolves a fill that needs no store I/O. A block whose
+// newest bytes are still sitting in the write-behind queue is served
+// straight from that buffer — the store's copy is stale until the
+// flusher lands it, and the copy costs no I/O at all. Returns false
+// when the fill was completed in place, true when it still needs a
+// store read.
+func (l *Live) stageFill(fl *Fill) bool {
 	if wb := l.pendingWB[fl.ID]; wb != nil {
 		copy(fl.Data, wb.Data)
 		l.fill.WritebackHits++
 		l.CompleteFill(fl)
+		return false
+	}
+	return true
+}
+
+// dispatchFill starts a fill's I/O.
+func (l *Live) dispatchFill(fl *Fill) {
+	if !l.stageFill(fl) {
 		return
 	}
 	l.fill.StoreReads++
@@ -699,6 +747,34 @@ func (l *Live) dispatchFill(fl *Fill) {
 	}
 	fl.Err = l.store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
 	l.CompleteFill(fl)
+}
+
+// dispatchFillRun starts a read-ahead run's I/O: stage each fill (the
+// write-behind forward can satisfy some in place), then hand the rest
+// to the batch executor in one call so a K-block run costs one vectored
+// read instead of K. StoreReads counts blocks, not calls, so the
+// counter stays comparable across executors; the call shape shows up in
+// BatchedFills/FillBatchBlocks instead. Without a batch executor the
+// run degrades to per-fill dispatch.
+func (l *Live) dispatchFillRun(fls []*Fill) {
+	sfb := l.cfg.StartFillBatch
+	if sfb == nil || l.cfg.StartFill == nil {
+		for _, fl := range fls {
+			l.dispatchFill(fl)
+		}
+		return
+	}
+	run := fls[:0]
+	for _, fl := range fls {
+		if l.stageFill(fl) {
+			run = append(run, fl)
+		}
+	}
+	if len(run) == 0 {
+		return
+	}
+	l.fill.StoreReads += int64(len(run))
+	sfb(run)
 }
 
 // CompleteFill applies a finished block read: install the bytes (or
@@ -812,21 +888,46 @@ func (l *Live) notePrefetchHit(id cache.BlockID) {
 // request extending the previous address streams; anything else seeks).
 // Prefetch fills go through the MSHR like any other, so a demand miss
 // that catches up simply coalesces onto the in-flight prefetch.
+//
+// Scheduling is windowed: the window [blk+1, raUntil] refills only when
+// the reader has consumed it to within half the depth, and a refill
+// extends it back out to blk+depth in one go. At depth 2 that is
+// exactly the old one-block top-up; at depth K the steady state issues
+// a K/2-block run every K/2 reads, which dispatchFillRun hands to the
+// batch executor as one vectored store read.
 func (l *Live) noteSequential(o *liveOwner, f *fs.File, blk int32, now sim.Time) {
 	if !l.cfg.ReadAhead {
 		return
 	}
 	if o.lastRead == nil {
 		o.lastRead = make(map[fs.FileID]int32)
+		o.raUntil = make(map[fs.FileID]int32)
 	}
 	last, seen := o.lastRead[f.ID()]
 	o.lastRead[f.ID()] = blk
 	if !seen || blk != last+1 {
+		// Run broken (or just starting): forget the old window so a
+		// re-scan of evicted blocks prefetches again from scratch.
+		delete(o.raUntil, f.ID())
 		return
 	}
 	depth := l.cfg.ReadAheadDepth
 	if depth <= 0 {
 		depth = 2
+	}
+	until, ok := o.raUntil[f.ID()]
+	if !ok || until < blk {
+		until = blk
+	}
+	if int(until)-int(blk) > depth/2 {
+		return // window still more than half full
+	}
+	target := blk + int32(depth)
+	if max := int32(f.Size()) - 1; target > max {
+		target = max
+	}
+	if target <= until {
+		return
 	}
 	owner := -1
 	for i := range l.owners {
@@ -835,11 +936,8 @@ func (l *Live) noteSequential(o *liveOwner, f *fs.File, blk int32, now sim.Time)
 			break
 		}
 	}
-	for i := int32(1); i <= int32(depth); i++ {
-		next := blk + i
-		if int(next) >= f.Size() {
-			return
-		}
+	run := make([]*Fill, 0, target-until)
+	for next := until + 1; next <= target; next++ {
 		id := cache.BlockID{File: f.ID(), Num: next}
 		if l.bc.Peek(id) != nil {
 			continue
@@ -856,7 +954,11 @@ func (l *Live) noteSequential(o *liveOwner, f *fs.File, blk int32, now sim.Time)
 		l.prefetched[id] = true
 		o.stats.Prefetches++
 		l.fill.PrefetchIssued++
-		l.dispatchFill(fl)
+		run = append(run, fl)
+	}
+	o.raUntil[f.ID()] = target
+	if len(run) > 0 {
+		l.dispatchFillRun(run)
 	}
 }
 

@@ -1,0 +1,25 @@
+//go:build !linux
+
+// vectored_other.go — stubs for platforms without preadv/pwritev. The
+// FileStore constructor sees vectoredIO == false and keeps the run path
+// on the portable ReadAt/WriteAt loop, so these are never reached; they
+// exist only to keep the package compiling everywhere.
+
+package disk
+
+import (
+	"errors"
+	"os"
+)
+
+const vectoredIO = false
+
+var errNoVectoredIO = errors.New("disk: vectored I/O unsupported on this platform")
+
+func preadvFull(f *os.File, bufs [][]byte, off int64) (calls int, err error) {
+	return 0, errNoVectoredIO
+}
+
+func pwritevFull(f *os.File, bufs [][]byte, off int64) (calls int, err error) {
+	return 0, errNoVectoredIO
+}

@@ -1,0 +1,248 @@
+package server_test
+
+import (
+	"bytes"
+	"hash/fnv"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// diffOutcome is everything the differential test compares between the
+// batched and single-block fill paths.
+type diffOutcome struct {
+	readHash   uint64           // FNV over every byte every read returned, in order
+	proc       core.ProcStats   // the session's counters
+	fill       stats.FillStats  // the kernel's fill pipeline counters
+	storeState map[int32][]byte // final store contents after Shutdown+Close
+}
+
+// runDiffWorkload drives one deterministic single-client workload —
+// sequential whole-block writes, a sequential scan under read-ahead,
+// strided re-reads, partial read-modify-writes — against a fresh server
+// and returns everything observable: the bytes every read produced, the
+// session and fill counters, and the final store contents.
+func runDiffWorkload(t *testing.T, fillWorkers, wbDepth int) diffOutcome {
+	t.Helper()
+	const blocks = 64
+	ms := disk.NewMemStore()
+	srv, _, dial := startServer(t, server.Config{
+		Kernel: core.LiveConfig{
+			CacheBytes:     16 * core.BlockSize,
+			Store:          ms,
+			ReadAhead:      true,
+			ReadAheadDepth: 4,
+		},
+		FillWorkers:    fillWorkers,
+		WritebackDepth: wbDepth,
+	})
+	c := dial()
+	defer c.Close()
+
+	f, err := c.Create("diff", 0, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	block := make([]byte, core.BlockSize)
+
+	// Phase 1: dirty every block; the 16-block cache forces a steady
+	// stream of dirty victims through the write-back path.
+	for b := int32(0); b < blocks; b++ {
+		for i := range block {
+			block[i] = byte(int32(i) + b*13)
+		}
+		if _, err := c.Write(f.ID, b, 0, block); err != nil {
+			t.Fatalf("write %d: %v", b, err)
+		}
+	}
+	// Phase 2: sequential scan; read-ahead issues runs, and early fills
+	// race the still-draining write-backs (the forwarding path).
+	for b := int32(0); b < blocks; b++ {
+		data, _, err := c.Read(f.ID, b, 0, core.BlockSize)
+		if err != nil {
+			t.Fatalf("read %d: %v", b, err)
+		}
+		h.Write(data)
+	}
+	// Phase 3: strided re-reads (breaks the sequential detector) and
+	// partial rewrites of cold blocks (read-modify-write fills).
+	for b := int32(0); b < blocks; b += 3 {
+		data, _, err := c.Read(f.ID, b, 5, 100)
+		if err != nil {
+			t.Fatalf("strided read %d: %v", b, err)
+		}
+		h.Write(data)
+	}
+	for b := int32(1); b < blocks; b += 7 {
+		if _, err := c.Write(f.ID, b, 9, []byte{byte(b), 0xee, byte(b)}); err != nil {
+			t.Fatalf("partial write %d: %v", b, err)
+		}
+	}
+	// One more pass so the rewrites are observed through the cache too.
+	for b := int32(0); b < blocks; b++ {
+		data, _, err := c.Read(f.ID, b, 0, core.BlockSize)
+		if err != nil {
+			t.Fatalf("final read %d: %v", b, err)
+		}
+		h.Write(data)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := diffOutcome{readHash: h.Sum64(), proc: st.Session, fill: st.Kernel.Fill}
+
+	c.Close()
+	shutdownAndClose(t, srv)
+	out.storeState = make(map[int32][]byte)
+	dst := make([]byte, core.BlockSize)
+	for b := int32(0); b < blocks; b++ {
+		if err := ms.ReadBlock(int32(f.ID), b, dst); err != nil {
+			t.Fatal(err)
+		}
+		out.storeState[b] = append([]byte(nil), dst...)
+	}
+	return out
+}
+
+// TestBatchedFillsDifferential pins the batched fill/write-back path
+// byte-identical to the single-block path: the same workload through
+// the legacy goroutine-per-fill executor with synchronous write-backs
+// (the pre-batching server, bit for bit) and through the worker pool
+// with the batching flusher must return the same bytes on every read,
+// leave the same bytes on the store, and agree on every deterministic
+// counter. The only licensed difference is *who* performs the store
+// reads: write-behind forwarding replaces store reads one-for-one, so
+// StoreReads(sync) = StoreReads(batched) + WritebackHits(batched).
+func TestBatchedFillsDifferential(t *testing.T) {
+	sync := runDiffWorkload(t, -1, 0) // legacy executor, synchronous write-backs
+	batched := runDiffWorkload(t, 4, 16)
+
+	if sync.readHash != batched.readHash {
+		t.Error("read streams differ between single-block and batched fill paths")
+	}
+	for b, want := range sync.storeState {
+		if !bytes.Equal(batched.storeState[b], want) {
+			t.Errorf("final store contents differ at block %d", b)
+		}
+	}
+	if sync.proc != batched.proc {
+		t.Errorf("session counters differ:\n sync    %+v\n batched %+v", sync.proc, batched.proc)
+	}
+	if got, want := batched.fill.StoreReads+batched.fill.WritebackHits, sync.fill.StoreReads; got != want {
+		t.Errorf("StoreReads+WritebackHits = %d (batched), want %d (sync StoreReads)", got, want)
+	}
+	for _, c := range []struct {
+		name       string
+		sync, batc int64
+	}{
+		{"CoalescedMisses", sync.fill.CoalescedMisses, batched.fill.CoalescedMisses},
+		{"PrefetchIssued", sync.fill.PrefetchIssued, batched.fill.PrefetchIssued},
+		{"PrefetchHits", sync.fill.PrefetchHits, batched.fill.PrefetchHits},
+	} {
+		if c.sync != c.batc {
+			t.Errorf("%s differs: sync %d, batched %d", c.name, c.sync, c.batc)
+		}
+	}
+
+	// The batched run must actually have batched: multi-block runs hit
+	// the store, and the queue was ever nonempty.
+	if batched.fill.BatchedFills == 0 {
+		t.Error("batched run issued no multi-block fill batches")
+	}
+	if batched.fill.FillBatchBlocks < 2*batched.fill.BatchedFills {
+		t.Errorf("FillBatchBlocks = %d with %d batches; every batch must carry >= 2 blocks",
+			batched.fill.FillBatchBlocks, batched.fill.BatchedFills)
+	}
+	if batched.fill.FillQueueHighWater == 0 {
+		t.Error("FillQueueHighWater = 0; fills never queued")
+	}
+	if sync.fill.BatchedFills != 0 || sync.fill.WritebackBatches != 0 {
+		t.Error("legacy run reported batch activity")
+	}
+}
+
+// TestFillBatchSyscalls is the syscall-count regression gate from the
+// issue: a sequential scan under depth-K read-ahead against a FileStore
+// must cost ~2 store calls per K blocks — the windowed scheduler
+// refills half the window at a time and each refill must reach the
+// store as one vectored read. An unbatched fill path costs one call per
+// block and fails this bound by 4x.
+func TestFillBatchSyscalls(t *testing.T) {
+	const (
+		blocks = 256
+		depth  = 8
+	)
+	fs, err := disk.NewFileStore(filepath.Join(t.TempDir(), "store.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, dial := startServer(t, server.Config{
+		Kernel: core.LiveConfig{
+			Store:          fs,
+			ReadAhead:      true,
+			ReadAheadDepth: depth,
+		},
+	})
+	c := dial()
+	defer c.Close()
+	f, err := c.Create("seq", 0, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the store out of band with one batched write: run-aware
+	// slot allocation lands the 256 sequential blocks in sequential
+	// slots, the layout the scan's preadv runs need. (Shards=1, so the
+	// wire file id is the store's file id.)
+	specs := make([]disk.BlockSpan, blocks)
+	srcs := make([][]byte, blocks)
+	for b := range specs {
+		specs[b] = disk.BlockSpan{File: int32(f.ID), Blk: int32(b)}
+		srcs[b] = bytes.Repeat([]byte{byte(b)}, core.BlockSize)
+	}
+	for i, err := range fs.WriteBlocks(specs, srcs) {
+		if err != nil {
+			t.Fatalf("populate[%d]: %v", i, err)
+		}
+	}
+	r0, v0, _, _ := fs.IOCounts()
+
+	for b := int32(0); b < blocks; b++ {
+		data, _, err := c.Read(f.ID, b, 0, core.BlockSize)
+		if err != nil {
+			t.Fatalf("read %d: %v", b, err)
+		}
+		if data[0] != byte(b) || data[core.BlockSize-1] != byte(b) {
+			t.Fatalf("block %d: wrong bytes", b)
+		}
+	}
+
+	sr, vr, _, _ := fs.IOCounts()
+	total := (sr - r0) + (vr - v0)
+	// Expected shape: 2 scalar demand reads (blocks 0 and 1, before the
+	// detector fires), one depth-sized opening run, then a half-window
+	// refill every depth/2 blocks — about blocks/(depth/2) calls. The
+	// bound allows 2 calls per K-block window plus slack for clamped
+	// tail refills; the unbatched path's ~256 calls fails it by 4x.
+	bound := int64(2*(blocks/depth) + 8)
+	if total > bound {
+		t.Errorf("sequential %d-block scan at depth %d cost %d store read calls (%d scalar + %d vectored), want <= %d",
+			blocks, depth, total, sr-r0, vr-v0, bound)
+	}
+	if vr-v0 == 0 {
+		t.Error("no vectored reads issued; read-ahead runs are not reaching preadv")
+	}
+	m, ok := srv.Metrics()
+	if !ok {
+		t.Fatal("Metrics not ok")
+	}
+	if m.Kernel.Fill.BatchedFills == 0 {
+		t.Error("BatchedFills = 0 after a read-ahead scan")
+	}
+}

@@ -1,0 +1,213 @@
+// fillpool.go — the bounded fill worker pool and the batching
+// write-behind flusher: the store-side mechanism under the shard
+// kernels.
+//
+// The kernel decides *what* to fill and write back (policy); this file
+// decides the call shape (mechanism). Misses and read-ahead runs queue
+// on a per-shard fillQueue, a small worker pool drains it, groups
+// same-file adjacent blocks, and retires each run with one vectored
+// store read; the flusher drains wbch opportunistically and retires
+// adjacent victims with one vectored write. MSHR join/detach, orphan
+// rules and Conflict ordering all live above this layer and see the
+// same per-fill/per-write-back completions they always did.
+
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+const (
+	// defaultFillWorkers is the per-shard pool size when Config leaves
+	// FillWorkers zero: enough concurrency to overlap a few independent
+	// misses without unbounded goroutine spawn.
+	defaultFillWorkers = 4
+	// maxFillBatch bounds how many queued fills one worker drains at a
+	// time; maxWritebackBatch bounds one flusher drain of wbch.
+	maxFillBatch      = 128
+	maxWritebackBatch = 64
+)
+
+// fillQueue is the per-shard miss queue between the kernel loop and the
+// fill workers. Push happens on the kernel goroutine and never blocks;
+// pop blocks a worker until work or close.
+type fillQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	fills  []*core.Fill
+	closed bool
+}
+
+func newFillQueue() *fillQueue {
+	q := &fillQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues fills and reports the resulting queue depth (the
+// kernel's high-water counter wants it).
+func (q *fillQueue) push(fls ...*core.Fill) int {
+	q.mu.Lock()
+	q.fills = append(q.fills, fls...)
+	depth := len(q.fills)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return depth
+}
+
+// pop removes up to max queued fills, blocking while the queue is empty
+// and open. It returns nil when the queue is closed and drained — the
+// workers' exit signal.
+func (q *fillQueue) pop(max int) []*core.Fill {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.fills) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.fills) == 0 {
+		return nil
+	}
+	n := len(q.fills)
+	if n > max {
+		n = max
+	}
+	batch := make([]*core.Fill, n)
+	copy(batch, q.fills)
+	rest := copy(q.fills, q.fills[n:])
+	for i := rest; i < len(q.fills); i++ {
+		q.fills[i] = nil
+	}
+	q.fills = q.fills[:rest]
+	return batch
+}
+
+// close wakes every worker to exit once the queue drains. Called at
+// shard retire, when no fill can ever be pushed again.
+func (q *fillQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// fillWorker is one pool goroutine: drain a batch, retire it run by
+// run, repeat until the queue closes.
+func (sh *shard) fillWorker(store disk.Store, batchCapable bool) {
+	for {
+		batch := sh.fq.pop(maxFillBatch)
+		if batch == nil {
+			return
+		}
+		sh.runFills(store, batchCapable, batch)
+	}
+}
+
+// runFills sorts a drained batch by (file, block), splits it into
+// same-file adjacent runs, and issues one store read per run — the run
+// coalescing rule: only blocks that can plausibly share a vectored call
+// are grouped; everything else stays a single-block read. Each run
+// re-enters the kernel loop as one completion message, preserving
+// per-fill CompleteFill semantics exactly.
+//
+// A block can appear twice (an orphaned mid-fill-eviction read and its
+// successor fill); equal block numbers never extend a run, so both
+// issue separately and each reads the same authoritative store bytes.
+func (sh *shard) runFills(store disk.Store, batchCapable bool, batch []*core.Fill) {
+	sort.Slice(batch, func(a, b int) bool {
+		if batch[a].ID.File != batch[b].ID.File {
+			return batch[a].ID.File < batch[b].ID.File
+		}
+		return batch[a].ID.Num < batch[b].ID.Num
+	})
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].ID.File == batch[i].ID.File && batch[j].ID.Num == batch[j-1].ID.Num+1 {
+			j++
+		}
+		run := batch[i:j]
+		i = j
+		if len(run) == 1 {
+			fl := run[0]
+			fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+		} else {
+			specs := make([]disk.BlockSpan, len(run))
+			dsts := make([][]byte, len(run))
+			for k, fl := range run {
+				specs[k] = disk.BlockSpan{File: int32(fl.ID.File), Blk: fl.ID.Num}
+				dsts[k] = fl.Data
+			}
+			for k, err := range disk.ReadBatch(store, specs, dsts) {
+				run[k].Err = err
+			}
+		}
+		sh.kch <- kmsg{fills: run, batched: len(run) > 1 && batchCapable}
+	}
+}
+
+// flusher is the shard's write-behind goroutine: receive one victim,
+// opportunistically drain whatever else is already queued, and retire
+// the batch. Queue order is preserved within and across batches, which
+// is what keeps every same-block Conflict constraint honored; a batch
+// never holds the same block twice — on a duplicate the gathered batch
+// flushes first, so the older bytes are on the store before the newer
+// write is even issued.
+func (sh *shard) flusher(store disk.Store, batchCapable bool) {
+	var batch []*core.WriteBack
+	seen := make(map[cache.BlockID]bool)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		sh.flushWBs(store, batchCapable, batch)
+		batch = nil // the slice rode the completion message; start fresh
+		clear(seen)
+	}
+	for wb := range sh.wbch {
+		batch = append(batch, wb)
+		seen[wb.ID] = true
+	gather:
+		for len(batch) < maxWritebackBatch {
+			select {
+			case wb2, ok := <-sh.wbch:
+				if !ok {
+					break gather // closed; outer range will exit after the flush
+				}
+				if seen[wb2.ID] {
+					flush()
+				}
+				batch = append(batch, wb2)
+				seen[wb2.ID] = true
+			default:
+				break gather
+			}
+		}
+		flush()
+	}
+}
+
+// flushWBs retires one gathered batch: a lone victim keeps the plain
+// WriteBlock path, a group goes through WriteBatch so adjacent-slot
+// victims collapse into pwritev runs.
+func (sh *shard) flushWBs(store disk.Store, batchCapable bool, batch []*core.WriteBack) {
+	if len(batch) == 1 {
+		wb := batch[0]
+		wb.Err = store.WriteBlock(int32(wb.ID.File), wb.ID.Num, wb.Data)
+		sh.kch <- kmsg{wb: wb}
+		return
+	}
+	specs := make([]disk.BlockSpan, len(batch))
+	srcs := make([][]byte, len(batch))
+	for i, wb := range batch {
+		specs[i] = disk.BlockSpan{File: int32(wb.ID.File), Blk: wb.ID.Num}
+		srcs[i] = wb.Data
+	}
+	for i, err := range disk.WriteBatch(store, specs, srcs) {
+		batch[i].Err = err
+	}
+	sh.kch <- kmsg{wbs: batch, batched: batchCapable}
+}

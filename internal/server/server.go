@@ -37,6 +37,14 @@ type Config struct {
 	// same-block ordering constraint degrades to a synchronous inline
 	// write (backpressure) rather than blocking the loop.
 	WritebackDepth int
+	// FillWorkers sizes the bounded per-shard fill worker pool (default
+	// 4). Misses and read-ahead runs queue on the shard's fill queue;
+	// the workers drain it, group same-file adjacent blocks, and retire
+	// each run with one vectored store read. A negative value restores
+	// the legacy one-goroutine-per-fill executor (one single-block store
+	// read per miss) — the unbatched baseline the cold-fill benchmark
+	// compares against.
+	FillWorkers int
 	// Shards is the number of independent kernel shards (default 1).
 	// Each shard owns its own Live — its own cache arena, ACM, and fill
 	// accounting — and its own message loop; files hash to a shard at
@@ -61,6 +69,9 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.FillWorkers == 0 {
+		c.FillWorkers = defaultFillWorkers
 	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 32
@@ -257,15 +268,18 @@ func (s *session) shardClosed() {
 // a session event (sess + req/open/close), a completed fill, a closure to
 // run on the shard goroutine, or a shutdown phase.
 type kmsg struct {
-	sess  *session
-	req   *request // with sess: one request frame
-	open  bool     // with sess: session arrived
-	close bool     // with sess: session is gone
-	fill  *core.Fill
-	wb    *core.WriteBack // a completed asynchronous write-back
-	call  func(*shard)    // run on the shard goroutine (metrics, broadcasts)
-	drain bool            // begin refusing requests
-	force bool            // kill every remaining session
+	sess    *session
+	req     *request // with sess: one request frame
+	open    bool     // with sess: session arrived
+	close   bool     // with sess: session is gone
+	fill    *core.Fill
+	fills   []*core.Fill      // a completed fill run (one store call, batched path)
+	wb      *core.WriteBack   // a completed asynchronous write-back
+	wbs     []*core.WriteBack // a completed write-back batch (batched flusher)
+	batched bool              // with fills/wbs: the store retired it as one vectored call
+	call    func(*shard)      // run on the shard goroutine (metrics, broadcasts)
+	drain   bool              // begin refusing requests
+	force   bool              // kill every remaining session
 }
 
 // shard is one kernel shard: a Live of its own plus the one goroutine
@@ -298,6 +312,10 @@ type shard struct {
 	wbch       chan *core.WriteBack
 	wbOverflow []*core.WriteBack
 	wbInflight int
+
+	// fq is the shard's fill queue (nil in legacy goroutine-per-fill
+	// mode); the worker pool drains it. Closed at retire.
+	fq *fillQueue
 }
 
 // remapStore gives each shard a disjoint keyspace in the shared block
@@ -317,6 +335,28 @@ func (r remapStore) WriteBlock(file, blk int32, src []byte) error {
 	return r.base.WriteBlock(file*r.n+r.shard, blk, src)
 }
 func (r remapStore) Close() error { return nil }
+
+// remapSpans translates a batch's shard-local file ids to their wire
+// encoding. The remap is affine in the file id only, so adjacency in
+// (file, block) — what the run grouping keys on — is preserved.
+func (r remapStore) remapSpans(specs []disk.BlockSpan) []disk.BlockSpan {
+	out := make([]disk.BlockSpan, len(specs))
+	for i, sp := range specs {
+		out[i] = disk.BlockSpan{File: sp.File*r.n + r.shard, Blk: sp.Blk}
+	}
+	return out
+}
+
+// ReadBlocks/WriteBlocks forward batches to the base store, which may
+// or may not vector them — ReadBatch/WriteBatch fall back to per-block
+// calls on a plain Store, so a remap over a counting test wrapper keeps
+// per-block counting intact.
+func (r remapStore) ReadBlocks(specs []disk.BlockSpan, dsts [][]byte) []error {
+	return disk.ReadBatch(r.base, r.remapSpans(specs), dsts)
+}
+func (r remapStore) WriteBlocks(specs []disk.BlockSpan, srcs [][]byte) []error {
+	return disk.WriteBatch(r.base, r.remapSpans(specs), srcs)
+}
 
 // Server is the acfcd daemon: N kernel shards, each a Live owned by one
 // loop goroutine, and any number of client sessions feeding them
@@ -359,31 +399,52 @@ func New(cfg Config) *Server {
 			sessions: make(map[*session]bool),
 		}
 		kcfg := cfg.Kernel.ShardConfig(i, n)
-		kcfg.Store = remapStore{base: base, shard: int32(i), n: int32(n)}
-		// Fills run on one goroutine each and re-enter through the shard
-		// channel; the loop counts them so shutdown can wait for the last.
-		kcfg.StartFill = func(fl *core.Fill) {
-			sh.fillsInflight++
-			store := sh.kern.Store()
-			go func() {
-				fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
-				sh.kch <- kmsg{fill: fl}
-			}()
+		store := remapStore{base: base, shard: int32(i), n: int32(n)}
+		kcfg.Store = store
+		// batchCapable: whether the base store can actually vector a
+		// run. The batch counters only tick when it can, so BatchedFills
+		// on a plain (or counting test) store honestly reads zero.
+		_, batchCapable := base.(disk.BatchStore)
+		if cfg.FillWorkers > 0 {
+			// Batched mode: fills queue on the shard's fill queue (the
+			// hooks run on the kernel goroutine, which also tracks the
+			// queue's high-water mark); a bounded worker pool drains it,
+			// groups same-file adjacent blocks, and re-enters the loop
+			// one run at a time. The loop counts fills in flight so
+			// shutdown can wait for the last.
+			sh.fq = newFillQueue()
+			kcfg.StartFill = func(fl *core.Fill) {
+				sh.fillsInflight++
+				sh.kern.NoteFillQueueDepth(sh.fq.push(fl))
+			}
+			kcfg.StartFillBatch = func(fls []*core.Fill) {
+				sh.fillsInflight += len(fls)
+				sh.kern.NoteFillQueueDepth(sh.fq.push(fls...))
+			}
+			for w := 0; w < cfg.FillWorkers; w++ {
+				go sh.fillWorker(store, batchCapable)
+			}
+		} else {
+			// Legacy mode (FillWorkers < 0): one goroutine and one
+			// single-block store read per fill — the unbatched baseline.
+			kcfg.StartFill = func(fl *core.Fill) {
+				sh.fillsInflight++
+				go func() {
+					fl.Err = store.ReadBlock(int32(fl.ID.File), fl.ID.Num, fl.Data)
+					sh.kch <- kmsg{fill: fl}
+				}()
+			}
 		}
 		if cfg.WritebackDepth > 0 {
 			sh.wbch = make(chan *core.WriteBack, cfg.WritebackDepth)
 			kcfg.StartWriteBack = sh.startWriteBack
-			store := kcfg.Store
 			// The flusher: one goroutine per shard draining the queue in
 			// FIFO order (which is what makes queue-order execution honor
 			// every same-block Conflict constraint) and re-entering the
-			// kernel loop with the result. It exits when retire closes wbch.
-			go func() {
-				for wb := range sh.wbch {
-					wb.Err = store.WriteBlock(int32(wb.ID.File), wb.ID.Num, wb.Data)
-					sh.kch <- kmsg{wb: wb}
-				}
-			}()
+			// kernel loop with the result — batching adjacent victims
+			// along the way (fillpool.go). It exits when retire closes
+			// wbch.
+			go sh.flusher(store, batchCapable)
 		}
 		sh.kern = core.NewLive(kcfg)
 		kerns = append(kerns, sh.kern)
@@ -871,6 +932,26 @@ func (sh *shard) loop() {
 		case m.fill != nil:
 			sh.fillsInflight--
 			sh.kern.CompleteFill(m.fill)
+			sh.maybeRetire()
+		case m.fills != nil:
+			sh.fillsInflight -= len(m.fills)
+			if m.batched {
+				sh.kern.CountFillBatch(len(m.fills))
+			}
+			for _, fl := range m.fills {
+				sh.kern.CompleteFill(fl)
+			}
+			sh.maybeRetire()
+		case m.wbs != nil:
+			sh.wbInflight -= len(m.wbs)
+			if m.batched {
+				sh.kern.CountWritebackBatches(1)
+			}
+			for _, wb := range m.wbs {
+				sh.kern.CompleteWriteBack(wb)
+			}
+			sh.drainOverflow()
+			sh.maybeRetire()
 		case m.wb != nil:
 			sh.wbInflight--
 			sh.kern.CompleteWriteBack(m.wb)
@@ -907,6 +988,9 @@ func (sh *shard) maybeRetire() {
 		sh.retired = true
 		if sh.wbch != nil {
 			close(sh.wbch)
+		}
+		if sh.fq != nil {
+			sh.fq.close()
 		}
 		close(sh.done)
 	}

@@ -67,6 +67,18 @@ type FillStats struct {
 	// in-flight response frames (copy-on-write), or a response outlived
 	// its buffer (mid-fill eviction) and was served from a detached copy.
 	WireCopyFallbacks int64 `json:"wire_copy_fallbacks"`
+	// BatchedFills counts multi-block store reads issued by the fill
+	// workers (a run of same-file adjacent fills retired as one vectored
+	// call); FillBatchBlocks is the total blocks those batches moved, so
+	// FillBatchBlocks/BatchedFills is the mean run length.
+	BatchedFills    int64 `json:"batched_fills"`
+	FillBatchBlocks int64 `json:"fill_batch_blocks"`
+	// WritebackBatches counts multi-block batches the write-behind
+	// flusher handed to the store as one vectored write.
+	WritebackBatches int64 `json:"writeback_batches"`
+	// FillQueueHighWater is the deepest the shard's fill queue has ever
+	// been: how far the bounded worker pool fell behind the miss stream.
+	FillQueueHighWater int64 `json:"fill_queue_high_water"`
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
@@ -83,6 +95,12 @@ func (s *FillStats) Accumulate(o FillStats) {
 	s.WritebackStalls += o.WritebackStalls
 	s.WritebackErrors += o.WritebackErrors
 	s.WireCopyFallbacks += o.WireCopyFallbacks
+	s.BatchedFills += o.BatchedFills
+	s.FillBatchBlocks += o.FillBatchBlocks
+	s.WritebackBatches += o.WritebackBatches
+	if o.FillQueueHighWater > s.FillQueueHighWater {
+		s.FillQueueHighWater = o.FillQueueHighWater
+	}
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
