@@ -1,19 +1,21 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot bench-server-cold serve loadtest experiments charts fuzz fuzz-frames clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot bench-server-cold bench-server-cluster serve serve-cluster loadtest experiments charts fuzz fuzz-frames clean outputs
 
 all: check
 
 # The default gate: static checks, the test suite, the race detector
 # over the packages with real cross-goroutine traffic (the parallel
-# scheduler, the simulations it drives, and the cache server — including
+# scheduler, the simulations it drives, the cache server — including
 # the multi-shard soak: 16 sessions plus hangup saboteurs across 4
-# kernel shards, invariant-checked per shard on every close), then a
-# short coverage-guided fuzz of the wire-frame codec.
+# kernel shards, invariant-checked per shard on every close — and the
+# cluster tier, whose soak drives a 3-node cluster through a mid-run
+# planned leave and an abrupt kill), then a short coverage-guided fuzz
+# of the wire-frame codec.
 check: vet test race-hot fuzz-frames
 
 race-hot:
-	$(GO) test -race ./internal/expt ./internal/core ./internal/server ./internal/disk
+	$(GO) test -race ./internal/expt ./internal/core ./internal/server ./internal/disk ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +48,17 @@ bench-json:
 serve:
 	$(GO) run ./cmd/acfcd -listen unix:/tmp/acfcd.sock -metrics 127.0.0.1:9090
 
+# Run one node of a 3-node local cluster: `make serve-cluster NODE=1`
+# (and 2 and 3 in other terminals). The nodes share a directory origin;
+# files route to their hash owner, misses pull through warm peers, and
+# ctrl-C runs the planned-leave handoff.
+NODE ?= 1
+CLUSTER_MEMBERS = tcp:127.0.0.1:4501,tcp:127.0.0.1:4502,tcp:127.0.0.1:4503
+serve-cluster:
+	$(GO) run ./cmd/acfcd -listen tcp:127.0.0.1:450$(NODE) \
+		-cluster $(CLUSTER_MEMBERS) -origin dir:/tmp/acfcd-origin \
+		-metrics 127.0.0.1:909$(NODE)
+
 # Replay a workload against a running daemon (make serve, elsewhere).
 loadtest:
 	$(GO) run ./cmd/acload -addr unix:/tmp/acfcd.sock -app cs1 -clients 4
@@ -76,6 +89,13 @@ bench-server-hot:
 # run coalescing into preadv), appended as a `cold_fill` section.
 bench-server-cold:
 	$(GO) run ./cmd/acload -selfserve -json -cold > BENCH_server.json
+
+# The standard sweep plus the cluster sweep: 1, 2 and 4 in-process
+# cluster nodes over a shared origin, 16 routing clients, a cold pass
+# (every read a pull-through fill) and a hot pass, appended as a
+# `cluster_sweeps` section with the summed peer-fill counters.
+bench-server-cluster:
+	$(GO) run ./cmd/acload -selfserve -json -cluster > BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

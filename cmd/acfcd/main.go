@@ -13,9 +13,19 @@
 //	      [-shards 1] [-idle 2m] [-inflight 32] [-evict-on-close]
 //	      [-check-invariants] [-writeback-depth 0] [-readahead 0]
 //	      [-fill-workers 4] [-store-latency 0] [-store-jitter 0]
+//	      [-cluster tcp:h1:p1,tcp:h2:p2,...] [-origin mem|dir:/path]
+//	      [-ring-replicas 128]
 //
-// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
-// are refused, and the kernel flushes dirty blocks before exit.
+// With -cluster, the daemon joins a static multi-node tier: the member
+// list (which must include this node's -listen spec) is hashed into a
+// consistent-hash ring, files route to their owning node, and local
+// misses pull through a warm peer or the shared -origin. SIGINT/SIGTERM
+// then run the planned-leave protocol: drain, flush dirty blocks to the
+// origin, stream hot blocks to the new hash owners, exit.
+//
+// Without -cluster, SIGINT/SIGTERM drain gracefully: in-flight requests
+// finish, new ones are refused, and the kernel flushes dirty blocks
+// before exit. The single-node path is untouched by cluster mode.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/server"
@@ -66,6 +77,9 @@ func run() int {
 	fillWorkersFlag := flag.Int("fill-workers", 0, "fill worker pool size per shard (0: default 4; negative: goroutine per fill)")
 	storeLatFlag := flag.Duration("store-latency", 0, "per-op latency injected into the mem store (benchmarking)")
 	storeJitFlag := flag.Duration("store-jitter", 0, "max extra random latency per mem-store op")
+	clusterFlag := flag.String("cluster", "", "comma-separated member list (incl. this node's -listen spec); empty: single-node mode")
+	originFlag := flag.String("origin", "mem", "cluster origin: mem (per-process; testing only) or dir:/shared/path")
+	replicasFlag := flag.Int("ring-replicas", 0, "virtual nodes per member on the hash ring (0: default 128)")
 	flag.Parse()
 
 	alloc, ok := allocNames[*allocFlag]
@@ -91,7 +105,7 @@ func run() int {
 		store = ms
 	}
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Kernel: core.LiveConfig{
 			CacheBytes:     core.MB(*cacheFlag),
 			Alloc:          alloc,
@@ -107,15 +121,62 @@ func run() int {
 		MaxInflight:     *inflightFlag,
 		IdleTimeout:     *idleFlag,
 		CheckInvariants: *invFlag,
-	})
+	}
+
+	// Cluster mode swaps the base store for the cluster tier's NodeStore;
+	// the single-node path below is byte-for-byte the non-cluster daemon.
+	var node *cluster.Node
+	srv := (*server.Server)(nil)
+	if *clusterFlag != "" {
+		if store != nil {
+			fmt.Fprintln(os.Stderr, "acfcd: -store/-store-latency do not combine with -cluster (the shared -origin is the backing tier)")
+			return 2
+		}
+		var origin cluster.Origin
+		switch {
+		case *originFlag == "mem":
+			origin = cluster.NewMemOrigin()
+		case strings.HasPrefix(*originFlag, "dir:"):
+			var err error
+			origin, err = cluster.NewDirOrigin(strings.TrimPrefix(*originFlag, "dir:"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
+				return 1
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "acfcd: bad -origin %q (want mem or dir:/path)\n", *originFlag)
+			return 2
+		}
+		members := strings.Split(*clusterFlag, ",")
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Self:     *listenFlag,
+			Members:  members,
+			Origin:   origin,
+			Replicas: *replicasFlag,
+			Server:   scfg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
+			return 1
+		}
+		node = n
+		srv = n.Srv
+	} else {
+		srv = server.New(scfg)
+	}
 
 	ln, err := listen(*listenFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, %d shard(s), store %s)\n",
-		ln.Addr(), *allocFlag, *cacheFlag, srv.Shards(), *storeFlag)
+	if node != nil {
+		fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, %d shard(s), cluster of %d, origin %s)\n",
+			ln.Addr(), *allocFlag, *cacheFlag, srv.Shards(), node.Ring().Len(), *originFlag)
+	} else {
+		fmt.Fprintf(os.Stderr, "acfcd: serving on %s (%s, %.1f MB cache, %d shard(s), store %s)\n",
+			ln.Addr(), *allocFlag, *cacheFlag, srv.Shards(), *storeFlag)
+	}
 
 	if *metricsFlag != "" {
 		mln, err := net.Listen("tcp", *metricsFlag)
@@ -158,6 +219,16 @@ func run() int {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *graceFlag)
 	defer cancel()
+	if node != nil {
+		// Planned leave: drain, flush dirty to the origin, stream hot
+		// blocks to their new hash owners, release the peer connections.
+		if err := node.Leave(ctx, true); err != nil {
+			fmt.Fprintf(os.Stderr, "acfcd: leave: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "acfcd: left the cluster, bye")
+		return 0
+	}
 	srv.Shutdown(ctx)
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "acfcd: close: %v\n", err)

@@ -1,0 +1,233 @@
+// cluster.go — the -cluster benchmark: the multi-node tier measured the
+// same way the shard sweep measures the single daemon. For each node
+// count the harness starts n in-process acfcd nodes over one shared
+// in-memory origin, creates a file set through the routing client (so
+// every file lives on exactly its hash owner), populates the origin out
+// of band (the caches stay empty), and scans twice: a cold pass where
+// every read is a pull-through fill, and a hot pass over the now-warm
+// owners. The per-node peer-fill counters are summed into the report —
+// the evidence the cluster fill path ran.
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// clusterSweep is one node count's measurement in the -cluster section.
+type clusterSweep struct {
+	Nodes      int         `json:"nodes"`
+	Clients    int         `json:"clients"`
+	Files      int         `json:"files"`
+	FileBlocks int         `json:"file_blocks"`
+	Cold       sweepResult `json:"cold"`
+	Hot        sweepResult `json:"hot"`
+	// Peer-fill counters summed over the nodes at the end of both
+	// passes (see stats.FillStats).
+	PeerFills      int64 `json:"peer_fills"`
+	PeerFillMisses int64 `json:"peer_fill_misses"`
+	PeerFillErrors int64 `json:"peer_fill_errors"`
+}
+
+type clusterParams struct {
+	clients int
+	files   int
+	blocks  int
+	nodes   []int
+	cacheMB float64
+	alloc   cache.Alloc
+}
+
+func runClusterBench(p clusterParams) ([]clusterSweep, error) {
+	var out []clusterSweep
+	for _, n := range p.nodes {
+		cs, err := clusterBenchOne(n, p)
+		if err != nil {
+			return nil, fmt.Errorf("%d node(s): %w", n, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"acload: cluster %d node(s) %2d clients: cold %8.0f req/s (hit %5.1f%%), hot %8.0f req/s (hit %5.1f%%), peer fills %d, peer misses %d, peer errors %d\n",
+			n, p.clients, cs.Cold.Throughput, 100*cs.Cold.HitRatio, cs.Hot.Throughput, 100*cs.Hot.HitRatio,
+			cs.PeerFills, cs.PeerFillMisses, cs.PeerFillErrors)
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+func clusterBenchOne(n int, p clusterParams) (clusterSweep, error) {
+	cs := clusterSweep{Nodes: n, Clients: p.clients, Files: p.files, FileBlocks: p.blocks}
+	origin := cluster.NewMemOrigin()
+
+	lns := make([]net.Listener, n)
+	members := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return cs, err
+		}
+		lns[i] = ln
+		members[i] = "tcp:" + ln.Addr().String()
+	}
+	nodes := make([]*cluster.Node, n)
+	for i, m := range members {
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Self:    m,
+			Members: members,
+			Origin:  origin,
+			Server: server.Config{
+				Kernel: core.LiveConfig{
+					CacheBytes: core.MB(p.cacheMB),
+					Alloc:      p.alloc,
+					WallClock:  true,
+				},
+				WritebackDepth: 64,
+			},
+		})
+		if err != nil {
+			return cs, err
+		}
+		nodes[i] = node
+		go node.Srv.Serve(lns[i])
+	}
+	defer func() {
+		for _, node := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			node.Srv.Shutdown(ctx)
+			cancel()
+			node.Srv.Close()
+		}
+	}()
+
+	// Create the files on their owners, then populate the origin behind
+	// the caches' backs: the first scan finds every node cold.
+	setup := cluster.NewClient(members, 0)
+	for i := 0; i < p.files; i++ {
+		if _, err := setup.Create(clusterFileName(i), 0, p.blocks); err != nil {
+			setup.Close()
+			return cs, err
+		}
+	}
+	setup.Close()
+	buf := make([]byte, core.BlockSize)
+	for i := 0; i < p.files; i++ {
+		for b := 0; b < p.blocks; b++ {
+			for j := range buf {
+				buf[j] = byte(i + b + j)
+			}
+			if err := origin.WriteBlock(clusterFileName(i), int32(b), buf); err != nil {
+				return cs, err
+			}
+		}
+	}
+
+	cold, err := clusterPass(members, p)
+	if err != nil {
+		return cs, fmt.Errorf("cold pass: %w", err)
+	}
+	cs.Cold = cold
+	hot, err := clusterPass(members, p)
+	if err != nil {
+		return cs, fmt.Errorf("hot pass: %w", err)
+	}
+	cs.Hot = hot
+
+	for _, node := range nodes {
+		fs := node.Store().FillStats()
+		cs.PeerFills += fs.PeerFills
+		cs.PeerFillMisses += fs.PeerFillMisses
+		cs.PeerFillErrors += fs.PeerFillErrors
+	}
+	return cs, nil
+}
+
+func clusterFileName(i int) string { return fmt.Sprintf("cluster/f%d", i) }
+
+// clusterPass scans every file once with p.clients concurrent routing
+// clients (client i walks file i mod files) and aggregates the
+// measurements runSweep-style.
+func clusterPass(members []string, p clusterParams) (sweepResult, error) {
+	type out struct {
+		st  replayStats
+		err error
+	}
+	outs := make([]out, p.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < p.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i].st, outs[i].err = clusterScan(members, i%p.files, p.blocks)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := sweepResult{Clients: p.clients, Seconds: elapsed.Seconds()}
+	var hits, accesses, bytes int64
+	var all []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, fmt.Errorf("client %d: %w", i, outs[i].err)
+		}
+		st := &outs[i].st
+		res.Requests += st.requests
+		hits += st.hits
+		accesses += st.hits + st.misses
+		bytes += st.bytes
+		all = append(all, st.latencies...)
+	}
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Requests) / res.Seconds
+		res.BytesPerSec = float64(bytes) / res.Seconds
+	}
+	if accesses > 0 {
+		res.HitRatio = float64(hits) / float64(accesses)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50us = percentileUs(all, 0.50)
+	res.P90us = percentileUs(all, 0.90)
+	res.P99us = percentileUs(all, 0.99)
+	return res, nil
+}
+
+// clusterScan is one routing client's sequential full-block scan of its
+// file — the routed sibling of coldClient.
+func clusterScan(members []string, fileIdx, blocks int) (replayStats, error) {
+	var st replayStats
+	cl := cluster.NewClient(members, 0)
+	defer cl.Close()
+	f, err := cl.Open(clusterFileName(fileIdx))
+	if err != nil {
+		return st, err
+	}
+	buf := make([]byte, core.BlockSize)
+	st.latencies = make([]time.Duration, 0, blocks)
+	for blk := int32(0); int(blk) < blocks; blk++ {
+		st.requests++
+		t0 := time.Now()
+		hit, err := cl.ReadInto(f.ID, blk, 0, core.BlockSize, buf)
+		st.latencies = append(st.latencies, time.Since(t0))
+		st.bytes += core.BlockSize
+		if err != nil {
+			return st, err
+		}
+		if hit {
+			st.hits++
+		} else {
+			st.misses++
+		}
+	}
+	return st, nil
+}

@@ -108,6 +108,9 @@ type jsonReport struct {
 	ShardSweeps []shardSweep `json:"shard_sweeps"`
 	HotBlock    *hotReport   `json:"hot_block,omitempty"`
 	ColdFill    *coldReport  `json:"cold_fill,omitempty"`
+	// ClusterSweeps is the -cluster section: the multi-node tier at
+	// 1/2/4 nodes, cold and hot scans through the routing client.
+	ClusterSweeps []clusterSweep `json:"cluster_sweeps,omitempty"`
 }
 
 // hotReport is the -hot section: the shared-hot-file contention scenario
@@ -179,6 +182,7 @@ func run() int {
 	jsonFlag := flag.Bool("json", false, "sweep 1/4/16 clients per shard count and emit JSON (implies quiet tables)")
 	hotFlag := flag.Bool("hot", false, "also run the shared-hot-file contention scenario (requires -selfserve): synchronous vs pipelined kernel over a slow store")
 	coldFlag := flag.Bool("cold", false, "also run the cold-fill scenario (requires -selfserve): batched vs unbatched fill path against a fresh store per run")
+	clusterFlag := flag.Bool("cluster", false, "also run the multi-node cluster sweep (requires -selfserve): 1/2/4 in-process nodes over a shared origin, cold + hot scans through the routing client")
 	flag.Parse()
 
 	mk, ok := expt.Registry[*appFlag]
@@ -206,6 +210,10 @@ func run() int {
 	}
 	if *coldFlag && !*selfFlag {
 		fmt.Fprintln(os.Stderr, "acload: -cold requires -selfserve (every run needs a fresh store)")
+		return 2
+	}
+	if *clusterFlag && !*selfFlag {
+		fmt.Fprintln(os.Stderr, "acload: -cluster requires -selfserve (the sweep owns the node processes)")
 		return 2
 	}
 	shardCounts := []int{1}
@@ -341,6 +349,22 @@ func run() int {
 			return 1
 		}
 		report.ColdFill = cr
+	}
+
+	if *clusterFlag {
+		sweeps, err := runClusterBench(clusterParams{
+			clients: 16,
+			files:   12,
+			blocks:  64,
+			nodes:   []int{1, 2, 4},
+			cacheMB: *cacheFlag,
+			alloc:   alloc,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acload: cluster: %v\n", err)
+			return 1
+		}
+		report.ClusterSweeps = sweeps
 	}
 
 	if *jsonFlag {
@@ -898,9 +922,11 @@ type replayConn interface {
 }
 
 // replayer replays one transcript through one session, reconnecting and
-// retrying once when the server refuses an event mid-pipeline.
+// retrying once when the server refuses an event mid-pipeline. The
+// reconnect policy (backoff, session-state restore) is the shared
+// client.Redialer; restore is its OnConnect hook.
 type replayer struct {
-	dial   func() (replayConn, error)
+	rd     *client.Redialer[replayConn]
 	prefix string
 	nodata bool
 
@@ -922,19 +948,19 @@ var errReplayDrained = errors.New("acload: server draining; replay stopped")
 // and access events reproduce the workload call for call.
 func replayOne(dial func() (replayConn, error), prefix string, events []expt.ReplayEvent, nodata bool) (replayStats, error) {
 	r := &replayer{
-		dial:   dial,
 		prefix: prefix,
 		nodata: nodata,
 		files:  make(map[fs.FileID]fs.FileID),
 		names:  make(map[fs.FileID]string),
 		buf:    make([]byte, core.BlockSize),
 	}
-	c, err := dial()
+	r.rd = &client.Redialer[replayConn]{Dial: dial, OnConnect: r.restore}
+	c, err := r.rd.Get()
 	if err != nil {
 		return r.st, err
 	}
 	r.c = c
-	defer func() { r.c.Close() }()
+	defer func() { r.rd.Close() }()
 
 	payload := make([]byte, core.BlockSize)
 	for i := range payload {
@@ -997,18 +1023,25 @@ func (r *replayer) step(ev expt.ReplayEvent, payload []byte) error {
 	return nil
 }
 
-// reconnect dials a fresh session and rebuilds the replayer's server
-// state: control re-enabled if it was on, every live file re-opened so
-// the recorded ids resolve again. (Priorities are per-owner manager
-// state; the replay reissues them only as the transcript reaches them,
-// like the restarted real application would.)
+// reconnect discards the dead session and dials a fresh one through the
+// redialer, whose OnConnect hook (restore) rebuilds the replayer's
+// server state before the connection is handed back.
 func (r *replayer) reconnect() error {
-	r.c.Close()
-	c, err := r.dial()
+	r.rd.Invalidate(r.c)
+	c, err := r.rd.Get()
 	if err != nil {
 		return err
 	}
 	r.c = c
+	return nil
+}
+
+// restore rebuilds session state on a fresh connection: control
+// re-enabled if it was on, every live file re-opened so the recorded
+// ids resolve again. (Priorities are per-owner manager state; the
+// replay reissues them only as the transcript reaches them, like the
+// restarted real application would.)
+func (r *replayer) restore(c replayConn) error {
 	if r.controlled {
 		if err := c.Control(true); err != nil {
 			return err

@@ -1,0 +1,29 @@
+// addr.go — node address specs. A member is identified by the same
+// "unix:/path" / "tcp:host:port" spec acfcd's -listen flag takes; the
+// spec string doubles as the member's name on the hash ring, so routing
+// and dialing agree by construction.
+
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// peerDialTimeout bounds how long a fill worker can stall dialing a
+// peer before the origin serves instead. Peer fills are a fast path;
+// a slow peer is worse than no peer.
+const peerDialTimeout = 2 * time.Second
+
+// SplitAddr parses a member spec into (network, address) for net.Dial /
+// net.Listen.
+func SplitAddr(spec string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(spec, "unix:"):
+		return "unix", strings.TrimPrefix(spec, "unix:"), nil
+	case strings.HasPrefix(spec, "tcp:"):
+		return "tcp", strings.TrimPrefix(spec, "tcp:"), nil
+	}
+	return "", "", fmt.Errorf("bad node address %q (want unix:/path or tcp:host:port)", spec)
+}

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// testCluster is n in-process nodes over one shared origin, each
+// listening on its own loopback TCP port. The member specs are the
+// real listen addresses, so ring routing and dialing agree.
+type testCluster struct {
+	t       *testing.T
+	origin  *MemOrigin
+	members []string
+	nodes   map[string]*Node
+	closed  map[string]bool
+}
+
+func startTestCluster(t *testing.T, n int, origin *MemOrigin) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:      t,
+		origin: origin,
+		nodes:  make(map[string]*Node),
+		closed: make(map[string]bool),
+	}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		tc.members = append(tc.members, "tcp:"+ln.Addr().String())
+	}
+	for i, m := range tc.members {
+		tc.addNode(m, lns[i])
+	}
+	t.Cleanup(tc.shutdownAll)
+	return tc
+}
+
+func (tc *testCluster) addNode(self string, ln net.Listener) *Node {
+	tc.t.Helper()
+	node, err := NewNode(NodeConfig{
+		Self:    self,
+		Members: tc.members,
+		Origin:  tc.origin,
+		Server: server.Config{
+			Kernel:          core.LiveConfig{CacheBytes: core.MB(1), Alloc: cache.LRUSP},
+			Shards:          2,
+			WritebackDepth:  4,
+			CheckInvariants: true,
+		},
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.nodes[self] = node
+	go node.Srv.Serve(ln)
+	return node
+}
+
+// join starts one more node whose member list is the whole cluster plus
+// itself — the static-membership join: existing nodes keep their rings.
+func (tc *testCluster) join() *Node {
+	tc.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	self := "tcp:" + ln.Addr().String()
+	tc.members = append(tc.members, self)
+	return tc.addNode(self, ln)
+}
+
+func (tc *testCluster) shutdownAll() {
+	for m, node := range tc.nodes {
+		if tc.closed[m] {
+			continue
+		}
+		tc.closed[m] = true
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		node.Srv.Shutdown(ctx)
+		cancel()
+		node.Srv.Close()
+	}
+}
+
+// leave runs the planned-leave protocol on member m.
+func (tc *testCluster) leave(m string, transfer bool) error {
+	tc.t.Helper()
+	tc.closed[m] = true
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return tc.nodes[m].Leave(ctx, transfer)
+}
+
+// kill simulates an abrupt death: sessions severed, shard loops force-
+// drained, nothing flushed, nothing streamed.
+func (tc *testCluster) kill(m string) {
+	tc.t.Helper()
+	tc.closed[m] = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown goes straight to force mode
+	tc.nodes[m].Srv.Shutdown(ctx)
+}
+
+func blockPattern(name string, blk int32) []byte {
+	b := make([]byte, disk.BlockSize)
+	pat := []byte(name + "#" + strconv.Itoa(int(blk)) + "|")
+	for i := range b {
+		b[i] = pat[i%len(pat)]
+	}
+	return b
+}
+
+// writeFiles creates nfiles files of blocks blocks each through cl and
+// fills every block with its pattern.
+func writeFiles(t *testing.T, cl *Client, nfiles, blocks int) []string {
+	t.Helper()
+	names := make([]string, nfiles)
+	for i := range names {
+		names[i] = fmt.Sprintf("app%d/file%d.dat", i%3, i)
+		f, err := cl.Create(names[i], i%2, blocks)
+		if err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+		for b := int32(0); b < int32(blocks); b++ {
+			if _, err := cl.Write(f.ID, b, 0, blockPattern(names[i], b)); err != nil {
+				t.Fatalf("write %s/%d: %v", names[i], b, err)
+			}
+		}
+	}
+	return names
+}
+
+// TestClusterExclusiveOwnership: every file is served by exactly the
+// node the shared ring names, verified two ways — per-node request
+// counts on the /metrics plaintext endpoint, and each file existing in
+// exactly one node's namespace.
+func TestClusterExclusiveOwnership(t *testing.T) {
+	tc := startTestCluster(t, 3, NewMemOrigin())
+	cl := NewClient(tc.members, 0)
+	defer cl.Close()
+
+	const nfiles = 24
+	names := writeFiles(t, cl, nfiles, 2)
+
+	// Read everything back through the router; all data must match.
+	for _, name := range names {
+		f, err := cl.Open(name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		dst := make([]byte, disk.BlockSize)
+		for b := int32(0); b < 2; b++ {
+			if _, err := cl.ReadInto(f.ID, b, 0, disk.BlockSize, dst); err != nil {
+				t.Fatalf("read %s/%d: %v", name, b, err)
+			}
+			if !bytes.Equal(dst, blockPattern(name, b)) {
+				t.Fatalf("read %s/%d: wrong bytes", name, b)
+			}
+		}
+	}
+
+	// Exactly one node knows each name.
+	ring := NewRing(tc.members, 0)
+	for _, name := range names {
+		holders := []string{}
+		for _, m := range tc.members {
+			c := dialMember(t, m)
+			_, err := c.Open(name)
+			c.Close()
+			if err == nil {
+				holders = append(holders, m)
+			} else if se := (*client.StatusError)(nil); !errors.As(err, &se) || se.Status != server.StatusNotFound {
+				t.Fatalf("probe %s on %s: %v", name, m, err)
+			}
+		}
+		if len(holders) != 1 || holders[0] != ring.Owner(name) {
+			t.Errorf("%s held by %v, ring owner %s", name, holders, ring.Owner(name))
+		}
+	}
+
+	// Every node took real traffic, reported on its /metrics endpoint.
+	for _, m := range tc.members {
+		requests := scrapeMetric(t, tc.nodes[m].Srv, "acfcd_requests_total")
+		if requests <= 0 {
+			t.Errorf("node %s: acfcd_requests_total = %d, want > 0", m, requests)
+		}
+	}
+}
+
+func dialMember(t *testing.T, m string) *client.Conn {
+	t.Helper()
+	network, addr, err := SplitAddr(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(network, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// scrapeMetric reads one un-labeled counter off the node's /metrics
+// plaintext endpoint.
+func scrapeMetric(t *testing.T, srv *server.Server, name string) int64 {
+	t.Helper()
+	rec := httptest.NewServer(srv.MetricsHandler())
+	defer rec.Close()
+	resp, err := rec.Client().Get(rec.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestClusterPeerFillThreeSurfaces: a node that joins after the working
+// set was written serves its newly-owned files by pulling blocks
+// through from the previous hash owners (the warm peers), and the
+// peer-fill counters agree across the wire stats reply, the in-process
+// Metrics snapshot, and the /metrics plaintext.
+func TestClusterPeerFillThreeSurfaces(t *testing.T) {
+	tc := startTestCluster(t, 2, NewMemOrigin())
+
+	const nfiles, blocks = 30, 2
+	cl := NewClient(tc.members, 0)
+	names := writeFiles(t, cl, nfiles, blocks)
+	cl.Close()
+
+	joiner := tc.join()
+	oldRing := NewRing(tc.members[:2], 0)
+	newRing := NewRing(tc.members, 0)
+	movedToJoiner := 0
+	for _, name := range names {
+		if newRing.Owner(name) == joiner.Self {
+			movedToJoiner++
+			if oldRing.Owner(name) == joiner.Self {
+				t.Fatalf("%s owned by joiner before the join", name)
+			}
+		}
+	}
+	if movedToJoiner == 0 {
+		t.Fatal("no file remapped to the joiner; enlarge nfiles")
+	}
+
+	cl2 := NewClient(tc.members, 0)
+	defer cl2.Close()
+	dst := make([]byte, disk.BlockSize)
+	for _, name := range names {
+		f, err := cl2.Open(name)
+		if err != nil {
+			t.Fatalf("open %s after join: %v", name, err)
+		}
+		for b := int32(0); b < blocks; b++ {
+			if _, err := cl2.ReadInto(f.ID, b, 0, disk.BlockSize, dst); err != nil {
+				t.Fatalf("read %s/%d after join: %v", name, b, err)
+			}
+			if !bytes.Equal(dst, blockPattern(name, b)) {
+				t.Fatalf("read %s/%d after join: wrong bytes (peer fill corrupted data?)", name, b)
+			}
+		}
+	}
+
+	// Surface 1: the store's own counters.
+	fills := joiner.Store().FillStats().PeerFills
+	if fills <= 0 {
+		t.Fatalf("joiner PeerFills = %d, want > 0", fills)
+	}
+	// Surface 2: the wire stats reply.
+	c := dialMember(t, joiner.Self)
+	reply, err := c.Stats()
+	c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kernel.Fill.PeerFills != fills {
+		t.Errorf("wire stats PeerFills = %d, store says %d", reply.Kernel.Fill.PeerFills, fills)
+	}
+	// Surface 3: Metrics and the /metrics plaintext.
+	m, ok := joiner.Srv.Metrics()
+	if !ok {
+		t.Fatal("Metrics: server down")
+	}
+	if m.Kernel.Fill.PeerFills != fills {
+		t.Errorf("Metrics PeerFills = %d, store says %d", m.Kernel.Fill.PeerFills, fills)
+	}
+	if got := scrapeMetric(t, joiner.Srv, "acfcd_fill_peer_fills"); got != fills {
+		t.Errorf("/metrics acfcd_fill_peer_fills = %d, store says %d", got, fills)
+	}
+	// The old nodes initiated no peer fills (they own what they serve).
+	for _, m := range tc.members[:2] {
+		if v := tc.nodes[m].Store().FillStats().PeerFills; v != 0 {
+			t.Errorf("old node %s PeerFills = %d, want 0", m, v)
+		}
+	}
+}
+
+// failingOrigin errors every read — the backing tier is down.
+type failingOrigin struct {
+	*MemOrigin
+}
+
+// The message deliberately avoids the substrings statusOf keys on
+// ("such file", "dirty"...): an origin outage must surface as io.
+var errOriginDown = errors.New("origin backend unreachable")
+
+func (f failingOrigin) ReadBlock(name string, blk int32, dst []byte) error { return errOriginDown }
+func (f failingOrigin) ReadRun(name string, start int32, dsts [][]byte) error {
+	return errOriginDown
+}
+
+// TestClusterFillErrorSurfacesAsIO: a fill the cluster tier cannot
+// satisfy comes back to the session as an io status — never a hang,
+// never a silent zero block — and increments PeerFillErrors.
+func TestClusterFillErrorSurfacesAsIO(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "tcp:" + ln.Addr().String()
+	node, err := NewNode(NodeConfig{
+		Self:   self,
+		Origin: failingOrigin{NewMemOrigin()},
+		Server: server.Config{
+			Kernel: core.LiveConfig{CacheBytes: core.MB(1), Alloc: cache.LRUSP},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go node.Srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		node.Srv.Shutdown(ctx)
+		node.Srv.Close()
+	})
+
+	c := dialMember(t, self)
+	defer c.Close()
+	f, err := c.Create("doomed", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Read(f.ID, 0, 0, disk.BlockSize)
+	if err == nil {
+		t.Fatal("read through a dead origin succeeded")
+	}
+	se := (*client.StatusError)(nil)
+	if !errors.As(err, &se) || se.Status != server.StatusIO {
+		t.Fatalf("read error = %v, want status io", err)
+	}
+	if n := node.Store().FillStats().PeerFillErrors; n <= 0 {
+		t.Errorf("PeerFillErrors = %d, want > 0", n)
+	}
+	// The session survives the failed fill: a fresh create+write works.
+	g, err := c.Create("alive", 0, 1)
+	if err != nil {
+		t.Fatalf("session dead after fill error: %v", err)
+	}
+	if _, err := c.Write(g.ID, 0, 0, blockPattern("alive", 0)); err != nil {
+		t.Fatalf("write after fill error: %v", err)
+	}
+}
+
+// TestClusterLeaveDifferential: the acceptance bar for warm handoff —
+// a 3-node cluster that suffers one planned leave ends with an origin
+// byte-for-byte identical to a single-node run of the same writes.
+func TestClusterLeaveDifferential(t *testing.T) {
+	const nfiles, blocks = 20, 3
+
+	// Reference: one node, same traffic, clean shutdown.
+	single := NewMemOrigin()
+	tcs := startTestCluster(t, 1, single)
+	cls := NewClient(tcs.members, 0)
+	writeFiles(t, cls, nfiles, blocks)
+	cls.Close()
+	tcs.shutdownAll()
+
+	// Cluster: three nodes, same traffic, then one planned leave with
+	// transfer, then a clean shutdown of the survivors.
+	clustered := NewMemOrigin()
+	tc := startTestCluster(t, 3, clustered)
+	cl := NewClient(tc.members, 0)
+	writeFiles(t, cl, nfiles, blocks)
+
+	leaver := tc.members[1]
+	if err := tc.leave(leaver, true); err != nil {
+		t.Fatalf("planned leave: %v", err)
+	}
+	cl.Close()
+	tc.shutdownAll()
+
+	want, got := single.Dump(), clustered.Dump()
+	if len(got) != len(want) {
+		t.Errorf("origin block count: single %d, clustered %d", len(want), len(got))
+		t.Logf("single keys: %v", single.Keys())
+		t.Logf("clustered keys: %v", clustered.Keys())
+	}
+	for k, wb := range want {
+		gb, ok := got[k]
+		if !ok {
+			t.Errorf("clustered origin missing %q — dirty data lost in the leave", k)
+			continue
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("clustered origin differs at %q", k)
+		}
+	}
+}
+
+// TestClusterFreshClientFailover: a client that has never connected
+// must still fail over when a file's hash owner is already dead at
+// first dial — the refused dial marks the owner dead and the open
+// resolves on the survivor ring, where the leave handoff put the file.
+// (Regression: Open/Create used to surface the dial error instead of
+// failing over; only the established-connection path re-routed.)
+func TestClusterFreshClientFailover(t *testing.T) {
+	tc := startTestCluster(t, 3, NewMemOrigin())
+	cl := NewClient(tc.members, 0)
+	names := writeFiles(t, cl, 12, 2)
+	cl.Close()
+
+	victim := tc.members[0]
+	ring := NewRing(tc.members, 0)
+	var name string
+	for _, n := range names {
+		if ring.Owner(n) == victim {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		t.Fatalf("no file hashed to %s out of %d", victim, len(names))
+	}
+	if err := tc.leave(victim, true); err != nil {
+		t.Fatalf("planned leave: %v", err)
+	}
+
+	fresh := NewClient(tc.members, 0)
+	defer fresh.Close()
+	f, err := fresh.Open(name)
+	if err != nil {
+		t.Fatalf("open %s with dead owner: %v", name, err)
+	}
+	dst := make([]byte, disk.BlockSize)
+	for b := int32(0); b < 2; b++ {
+		if _, err := fresh.ReadInto(f.ID, b, 0, disk.BlockSize, dst); err != nil {
+			t.Fatalf("read %s/%d after failover: %v", name, b, err)
+		}
+		if !bytes.Equal(dst, blockPattern(name, b)) {
+			t.Fatalf("wrong bytes for %s/%d after failover", name, b)
+		}
+	}
+}
+
+// TestClusterSoak: concurrent clients drive a 3-node cluster while one
+// node leaves planned mid-run and another dies abruptly; the survivors
+// and the failover path must keep every client live to the end, and a
+// final sweep against the last node must succeed for every file that
+// still resolves. Run under -race by make race-hot.
+func TestClusterSoak(t *testing.T) {
+	tc := startTestCluster(t, 3, NewMemOrigin())
+
+	const clients, nfiles, blocks = 4, 12, 2
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := NewClient(tc.members, 0)
+			defer cl.Close()
+			names := make([]string, nfiles)
+			ids := make(map[string]client.File)
+			for i := range names {
+				names[i] = fmt.Sprintf("soak%d/f%d", w, i)
+				f, err := cl.Create(names[i], 0, blocks)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d create: %w", w, err)
+					return
+				}
+				ids[names[i]] = f
+			}
+			dst := make([]byte, disk.BlockSize)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[i%nfiles]
+				f := ids[name]
+				blk := int32(i % blocks)
+				if i%3 == 0 {
+					if _, err := cl.Write(f.ID, blk, 0, blockPattern(name, blk)); err != nil {
+						errc <- fmt.Errorf("worker %d write %s: %w", w, name, err)
+						return
+					}
+				} else {
+					if _, err := cl.ReadInto(f.ID, blk, 0, disk.BlockSize, dst); err != nil {
+						errc <- fmt.Errorf("worker %d read %s: %w", w, name, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if err := tc.leave(tc.members[0], true); err != nil {
+		t.Errorf("mid-run planned leave: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	tc.kill(tc.members[1])
+	time.Sleep(100 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("client died mid-soak: %v", err)
+	}
+
+	// The last node answers a full sweep.
+	cl := NewClient(tc.members[2:], 0)
+	defer cl.Close()
+	dst := make([]byte, disk.BlockSize)
+	for w := 0; w < clients; w++ {
+		for i := 0; i < nfiles; i++ {
+			name := fmt.Sprintf("soak%d/f%d", w, i)
+			f, err := cl.Open(name)
+			if err != nil {
+				if se := (*client.StatusError)(nil); errors.As(err, &se) && se.Status == server.StatusNotFound {
+					continue // never migrated to the survivor: fine
+				}
+				t.Fatalf("final open %s: %v", name, err)
+			}
+			if _, err := cl.ReadInto(f.ID, 0, 0, disk.BlockSize, dst); err != nil {
+				t.Fatalf("final read %s: %v", name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// node.go — Node ties one acfcd server to the cluster: it builds the
+// NodeStore, wires it under the server through the three hooks the
+// server grew for exactly this (base store, FileAnnounce, ExtraFill),
+// and owns the leave protocol. Leave generalizes the paper's
+// transfer-or-evict revocation from block to node granularity: the
+// transfer arm drains sessions, flushes every dirty block to the origin
+// (so correctness never depends on what follows), then streams the
+// cache contents — hottest blocks first — to their new hash owners over
+// the same typed client the peer fills use; the evict arm flushes and
+// stops. Unplanned death needs no protocol at all: clients redial the
+// next ring owner, which pulls the working set back through cold from
+// the origin the dead node had already written behind to.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// Self is this node's member spec ("unix:/path" or "tcp:host:port")
+	// — its name on the ring and the address peers dial.
+	Self string
+	// Members is the static membership list. Self is added if absent.
+	Members []string
+	// Origin is the shared backing store. Required.
+	Origin Origin
+	// Replicas is the virtual-node count per member (<= 0:
+	// DefaultReplicas).
+	Replicas int
+	// Server configures the embedded server. Kernel.Store, FileAnnounce
+	// and ExtraFill are overwritten — the cluster tier owns them.
+	Server server.Config
+}
+
+// Node is one member of the cluster: an acfcd server whose base store
+// is the cluster's NodeStore.
+type Node struct {
+	Self  string
+	Srv   *server.Server
+	store *NodeStore
+}
+
+// NewNode builds the node and starts its server's shard loops.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: NodeConfig.Self required")
+	}
+	if cfg.Origin == nil {
+		return nil, errors.New("cluster: NodeConfig.Origin required")
+	}
+	members := cfg.Members
+	found := false
+	for _, m := range members {
+		if m == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		members = append(append([]string(nil), members...), cfg.Self)
+	}
+	ring := NewRing(members, cfg.Replicas)
+	ns := NewNodeStore(cfg.Self, ring, cfg.Origin)
+	scfg := cfg.Server
+	scfg.Kernel.Store = ns
+	scfg.FileAnnounce = ns.Announce
+	scfg.ExtraFill = ns.FillStats
+	return &Node{Self: cfg.Self, Srv: server.New(scfg), store: ns}, nil
+}
+
+// Store exposes the node's NodeStore (peer-fill counters, ring).
+func (n *Node) Store() *NodeStore { return n.store }
+
+// Ring returns the node's view of the membership ring.
+func (n *Node) Ring() *Ring { return n.store.Ring() }
+
+// Owns reports whether this node is name's hash owner.
+func (n *Node) Owns(name string) bool { return n.Ring().Owner(name) == n.Self }
+
+// Leave retires the node. Ordering, each step a barrier for the next:
+//
+//  1. Shutdown drains sessions and shard loops past the drain barrier,
+//     so no asynchronous fill or write-back is in flight (ctx bounds
+//     the wait; on expiry remaining sessions are severed and the drain
+//     completes force-mode).
+//  2. FlushDirty persists every dirty block to the origin. After this
+//     returns, zero data loss is already guaranteed — the rest is
+//     warmth, not correctness.
+//  3. With transfer set, the cache contents stream hottest-first to
+//     each file's new hash owner (the ring without this node) as
+//     ordinary create/write traffic over the peer connections. A
+//     streaming failure downgrades the handoff to the evict arm for
+//     the blocks it hadn't reached — their next reader pulls them
+//     through from the origin instead.
+//  4. Close releases the kernels' stores and every peer connection.
+//
+// Leave returns the first error, but always runs every step. A grace
+// expiry on the drain is not an error: sessions that outstay the grace
+// — idle clients that never disconnect, peers holding fill connections
+// — are severed by design, and the drain barrier has still waited out
+// every asynchronous fill and write-back before the flush runs.
+func (n *Node) Leave(ctx context.Context, transfer bool) error {
+	var firstErr error
+	if err := n.Srv.Shutdown(ctx); err != nil &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		firstErr = err
+	}
+	if err := n.Srv.FlushDirty(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if transfer {
+		if err := n.handoff(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := n.Srv.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// handoff streams the retired server's cached blocks to their new hash
+// owners, hottest first, so an interrupted handoff still moved the
+// blocks most worth moving.
+func (n *Node) handoff() error {
+	rest := n.Ring().Without(n.Self)
+	if rest.Len() == 0 {
+		return nil
+	}
+	var firstErr error
+	type remote struct {
+		c   *client.Conn
+		p   *peer
+		ids map[string]remoteFile
+	}
+	remotes := make(map[string]*remote)
+	for _, cb := range n.Srv.CachedContents() {
+		owner := rest.Owner(cb.Name)
+		r, ok := remotes[owner]
+		if !ok {
+			c, p, err := n.store.Peer(owner)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("handoff dial %s: %w", owner, err)
+				}
+				remotes[owner] = &remote{} // dead owner: skip its blocks
+				continue
+			}
+			r = &remote{c: c, p: p, ids: make(map[string]remoteFile)}
+			remotes[owner] = r
+		}
+		if r.c == nil {
+			continue
+		}
+		rf, ok := r.ids[cb.Name]
+		if !ok {
+			var err error
+			rf, err = openOrCreate(r.c, cb.Name, cb.Disk, cb.Size)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("handoff open %s on %s: %w", cb.Name, owner, err)
+				}
+				rf = remoteFile{skip: true}
+			}
+			r.ids[cb.Name] = rf
+		}
+		if rf.skip {
+			continue
+		}
+		if _, err := r.c.Write(rf.id, cb.Blk, 0, cb.Data); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("handoff write %s/%d to %s: %w", cb.Name, cb.Blk, owner, err)
+		}
+	}
+	return firstErr
+}
+
+type remoteFile struct {
+	id   fs.FileID
+	skip bool
+}
+
+// openOrCreate resolves name on the receiving node, creating it with
+// the retiring node's shape when the receiver has never seen it.
+func openOrCreate(c *client.Conn, name string, disk, size int) (remoteFile, error) {
+	f, err := c.Open(name)
+	if err == nil {
+		return remoteFile{id: f.ID}, nil
+	}
+	if se := (*client.StatusError)(nil); errors.As(err, &se) && se.Status == server.StatusNotFound {
+		f, err = c.Create(name, disk, size)
+		if err == nil {
+			return remoteFile{id: f.ID}, nil
+		}
+	}
+	return remoteFile{}, err
+}

@@ -1,0 +1,212 @@
+// origin.go — the cluster's shared backing store, addressed by file
+// *name* instead of wire id. Wire file ids are a per-node encoding
+// (local*shards+shard, assigned in open order), so two nodes give the
+// same file different ids; the name is the only coordinate every node
+// agrees on. The per-node NodeStore translates id→name at the fill
+// boundary and reads or writes the origin here.
+
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/disk"
+)
+
+// Origin is the cluster's authoritative block backend: it holds every
+// block ever written back by any node, keyed by file name. Blocks never
+// written read as zeros, matching disk.Store semantics. Implementations
+// must be safe for concurrent use — every node's write-behind flusher
+// and fill workers reach it at once.
+type Origin interface {
+	// ReadBlock fills dst (len BlockSize) with the named file's block.
+	ReadBlock(name string, blk int32, dst []byte) error
+	// WriteBlock persists src as the named file's block.
+	WriteBlock(name string, blk int32, src []byte) error
+	// ReadRun / WriteRun move a run of consecutive blocks starting at
+	// start in one call — the batch shape the fill workers and the
+	// write-behind flusher hand down (PR 8's run coalescing, kept alive
+	// through the cluster tier).
+	ReadRun(name string, start int32, dsts [][]byte) error
+	WriteRun(name string, start int32, srcs [][]byte) error
+	Close() error
+}
+
+// MemOrigin is an in-memory Origin: the backend for tests, benchmarks,
+// and single-machine clusters of in-process nodes (which share one
+// instance — that sharing is what makes it a common backing store).
+type MemOrigin struct {
+	mu     sync.Mutex
+	blocks map[string][]byte // "name\x00blk" -> BlockSize bytes
+}
+
+func NewMemOrigin() *MemOrigin {
+	return &MemOrigin{blocks: make(map[string][]byte)}
+}
+
+func originKey(name string, blk int32) string {
+	return name + "\x00" + fmt.Sprint(blk)
+}
+
+func (m *MemOrigin) ReadBlock(name string, blk int32, dst []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.blocks[originKey(name, blk)]; ok {
+		copy(dst, b)
+		return nil
+	}
+	clear(dst)
+	return nil
+}
+
+func (m *MemOrigin) WriteBlock(name string, blk int32, src []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := make([]byte, len(src))
+	copy(b, src)
+	m.blocks[originKey(name, blk)] = b
+	return nil
+}
+
+func (m *MemOrigin) ReadRun(name string, start int32, dsts [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, dst := range dsts {
+		if b, ok := m.blocks[originKey(name, start+int32(i))]; ok {
+			copy(dst, b)
+		} else {
+			clear(dst)
+		}
+	}
+	return nil
+}
+
+func (m *MemOrigin) WriteRun(name string, start int32, srcs [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, src := range srcs {
+		b := make([]byte, len(src))
+		copy(b, src)
+		m.blocks[originKey(name, start+int32(i))] = b
+	}
+	return nil
+}
+
+// Close is a no-op: a MemOrigin is shared by every node of an
+// in-process cluster, so no one node owns its lifetime.
+func (m *MemOrigin) Close() error { return nil }
+
+// Blocks reports how many blocks have been written.
+func (m *MemOrigin) Blocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// Dump snapshots the origin's full contents as key -> block copy, keys
+// sorted on iteration order being irrelevant — the differential test's
+// byte-level comparison surface.
+func (m *MemOrigin) Dump() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.blocks))
+	for k, v := range m.blocks {
+		b := make([]byte, len(v))
+		copy(b, v)
+		out[k] = b
+	}
+	return out
+}
+
+// Keys returns the written block keys, sorted (diagnostics for a failed
+// differential comparison).
+func (m *MemOrigin) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.blocks))
+	for k := range m.blocks {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirOrigin is a directory-backed Origin for multi-process clusters on
+// a shared filesystem: one flat file per cached file (name
+// percent-escaped into a filename), blocks at offset blk*BlockSize.
+// Files are opened per call — the origin is the slow tier by
+// construction, and handle caching would buy little under the cluster's
+// cache-first access pattern.
+type DirOrigin struct {
+	dir string
+}
+
+// NewDirOrigin creates (if needed) and uses dir as the backing
+// directory.
+func NewDirOrigin(dir string) (*DirOrigin, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("origin dir: %w", err)
+	}
+	return &DirOrigin{dir: dir}, nil
+}
+
+func (d *DirOrigin) path(name string) string {
+	return filepath.Join(d.dir, url.PathEscape(name))
+}
+
+func (d *DirOrigin) ReadBlock(name string, blk int32, dst []byte) error {
+	return d.ReadRun(name, blk, [][]byte{dst})
+}
+
+func (d *DirOrigin) WriteBlock(name string, blk int32, src []byte) error {
+	return d.WriteRun(name, blk, [][]byte{src})
+}
+
+func (d *DirOrigin) ReadRun(name string, start int32, dsts [][]byte) error {
+	f, err := os.Open(d.path(name))
+	if os.IsNotExist(err) {
+		for _, dst := range dsts {
+			clear(dst)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	off := int64(start) * disk.BlockSize
+	for _, dst := range dsts {
+		n, err := f.ReadAt(dst, off)
+		if err == io.EOF {
+			clear(dst[n:]) // short file: the tail reads as zeros
+		} else if err != nil {
+			return err
+		}
+		off += int64(len(dst))
+	}
+	return nil
+}
+
+func (d *DirOrigin) WriteRun(name string, start int32, srcs [][]byte) error {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	off := int64(start) * disk.BlockSize
+	for _, src := range srcs {
+		if _, err := f.WriteAt(src, off); err != nil {
+			return err
+		}
+		off += int64(len(src))
+	}
+	return nil
+}
+
+func (d *DirOrigin) Close() error { return nil }

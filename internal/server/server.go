@@ -64,6 +64,19 @@ type Config struct {
 	// CheckInvariants runs each shard kernel's cross-structure invariant
 	// checks after every session close (tests; too slow for production).
 	CheckInvariants bool
+	// FileAnnounce, if set, is called on every successful open and
+	// create with the file's wire id and name — the mapping a
+	// name-addressed base store (the cluster tier's NodeStore) needs to
+	// resolve the wire ids it is handed on fills and write-backs. Runs
+	// on a shard goroutine; must be cheap and must not call back into
+	// the server.
+	FileAnnounce func(wire int32, name string)
+	// ExtraFill, if set, contributes additional fill counters (the
+	// cluster tier's peer-fill accounting, which lives below the shard
+	// kernels in the base store) to the aggregated kernel snapshot on
+	// every stats surface: the wire stats reply, Metrics, and /metrics.
+	// Per-shard sections are unchanged — the counters are not per-shard.
+	ExtraFill func() stats.FillStats
 }
 
 func (c *Config) fillDefaults() {
@@ -489,6 +502,72 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
+// FlushDirty writes every shard kernel's dirty blocks to the store
+// without closing it — the planned-leave handoff's first step, so no
+// dirty byte depends on the streaming that follows. Call only after
+// Shutdown has returned (same contract as Close): the retired shard
+// loops no longer touch their kernels and the drain barrier has waited
+// out every asynchronous write-back.
+func (s *Server) FlushDirty() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		if _, err := sh.kern.FlushDirty(core.MaxTime); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CachedBlock is one cached block in a CachedContents enumeration,
+// addressed by file name (the coordinate that survives re-creation on
+// another node) with the file's shape alongside so the receiver can
+// re-create it.
+type CachedBlock struct {
+	Name string
+	Disk int
+	Size int // file size in blocks
+	Blk  int32
+	Data []byte // a copy; the caller owns it
+}
+
+// CachedContents enumerates every data-carrying cached block across the
+// shards, hottest first (each shard's MRU end leads) — what the cluster
+// tier's warm handoff streams to the new hash owners before the node
+// retires. Call only after Shutdown has returned: the kernels are
+// quiescent, so the slots cannot change under the copy. Returns nil on
+// a live server.
+func (s *Server) CachedContents() []CachedBlock {
+	select {
+	case <-s.kdone:
+	default:
+		return nil
+	}
+	var out []CachedBlock
+	for _, sh := range s.shards {
+		order := sh.kern.Cache().GlobalOrder() // LRU to MRU
+		for i := len(order) - 1; i >= 0; i-- {
+			b := sh.kern.Cache().Peek(order[i])
+			if b == nil || b.Slot == nil {
+				continue
+			}
+			f, ok := sh.kern.FS().ByID(b.ID.File)
+			if !ok || f.Removed() {
+				continue
+			}
+			data := make([]byte, len(b.Slot.Data()))
+			copy(data, b.Slot.Data())
+			out = append(out, CachedBlock{
+				Name: f.Name(),
+				Disk: f.Disk(),
+				Size: f.Size(),
+				Blk:  b.ID.Num,
+				Data: data,
+			})
+		}
+	}
+	return out
+}
+
 // Serve accepts connections on ln until the listener is closed. One
 // Server may serve several listeners concurrently.
 func (s *Server) Serve(ln net.Listener) error {
@@ -751,6 +830,9 @@ func (s *Server) aggregateStats(se *session, r *request) {
 		return
 	}
 	sr := StatsReply{Session: agg, Kernel: stats.Aggregate(snaps)}
+	if s.cfg.ExtraFill != nil {
+		sr.Kernel.Fill.Accumulate(s.cfg.ExtraFill())
+	}
 	if len(snaps) > 1 {
 		sr.PerShard = snaps
 	}
@@ -908,6 +990,9 @@ func (s *Server) Metrics() (Metrics, bool) {
 		}
 	}
 	m.Kernel = stats.Aggregate(kernels)
+	if s.cfg.ExtraFill != nil {
+		m.Kernel.Fill.Accumulate(s.cfg.ExtraFill())
+	}
 	m.SessionsActive = len(order)
 	for _, se := range order {
 		m.Sessions = append(m.Sessions, *merged[se])
@@ -1155,6 +1240,9 @@ func (sh *shard) handleOpen(se *session, r *request) {
 		se.sendErr(r.id, err)
 		return
 	}
+	if fa := sh.srv.cfg.FileAnnounce; fa != nil {
+		fa(int32(sh.wire(f.ID())), f.Name())
+	}
 	resp := make([]byte, 8)
 	put32(resp[0:], uint32(sh.wire(f.ID())))
 	put32(resp[4:], uint32(f.Size()))
@@ -1177,6 +1265,9 @@ func (sh *shard) handleCreate(se *session, r *request) {
 	if err != nil {
 		se.sendErr(r.id, err)
 		return
+	}
+	if fa := sh.srv.cfg.FileAnnounce; fa != nil {
+		fa(int32(sh.wire(f.ID())), f.Name())
 	}
 	resp := make([]byte, 8)
 	put32(resp[0:], uint32(sh.wire(f.ID())))

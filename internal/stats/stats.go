@@ -79,6 +79,16 @@ type FillStats struct {
 	// FillQueueHighWater is the deepest the shard's fill queue has ever
 	// been: how far the bounded worker pool fell behind the miss stream.
 	FillQueueHighWater int64 `json:"fill_queue_high_water"`
+	// PeerFills counts blocks a cluster node filled from a peer node's
+	// cache instead of the backing origin (the pull-through path);
+	// PeerFillMisses counts fills where the warm peer did not have the
+	// file and the read fell through to the origin; PeerFillErrors
+	// counts peer or origin failures on the cluster fill path — each one
+	// also surfaced to the requesting session as an io status, never
+	// swallowed. All zero outside cluster mode.
+	PeerFills      int64 `json:"peer_fills"`
+	PeerFillMisses int64 `json:"peer_fill_misses"`
+	PeerFillErrors int64 `json:"peer_fill_errors"`
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
@@ -101,6 +111,9 @@ func (s *FillStats) Accumulate(o FillStats) {
 	if o.FillQueueHighWater > s.FillQueueHighWater {
 		s.FillQueueHighWater = o.FillQueueHighWater
 	}
+	s.PeerFills += o.PeerFills
+	s.PeerFillMisses += o.PeerFillMisses
+	s.PeerFillErrors += o.PeerFillErrors
 }
 
 // Accumulate folds o into s: counters add, high-water marks take the max.
