@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-server bench-server-shards bench-server-hot bench-server-cold bench-server-cluster serve serve-cluster loadtest experiments charts fuzz fuzz-frames clean outputs
+.PHONY: all check test vet race race-hot bench bench-cache bench-sim bench-json bench-policy-tournament bench-server bench-server-shards bench-server-hot bench-server-cold bench-server-cluster serve serve-cluster loadtest experiments charts fuzz fuzz-frames clean outputs
 
 all: check
 
@@ -43,6 +43,14 @@ bench-sim:
 # Machine-readable experiment timings + run-cache stats (BENCH trajectory).
 bench-json:
 	$(GO) run ./cmd/acbench -run all -json > BENCH_acbench.json
+
+# The bench-json sweep plus the allocation-policy tournament: every
+# registered kernel policy (cache.AllocNames) over the scan-heavy
+# Figure 5 mixes with the apps left oblivious, so the kernel policy is
+# the only variable. The matrix lands as a `policy_tournament` section
+# in BENCH_acbench.json (BENCH trajectory).
+bench-policy-tournament:
+	$(GO) run ./cmd/acbench -run all -json -tournament > BENCH_acbench.json
 
 # Run the cache daemon on its default unix socket.
 serve:

@@ -7,7 +7,8 @@
 //
 //	acbench [-run all|fig4|fig5|fig6|table1|table2|table3|table4|ablation]
 //	        [-sizes 6.4,8,12,16] [-parallel N] [-json] [-charts]
-//	        [-cpuprofile file] [-memprofile file] [-nofastpath]
+//	        [-tournament] [-cpuprofile file] [-memprofile file]
+//	        [-nofastpath]
 //
 // -parallel N runs up to N independent simulations concurrently (default
 // GOMAXPROCS; 1 selects the legacy serial path). Every simulation is a
@@ -32,6 +33,13 @@
 // scheduler, disabling the engine's lookahead fast path. Tables and
 // figures are byte-identical either way — the flag exists to verify
 // exactly that, and to A/B the fast path's wall-clock contribution.
+//
+// -tournament appends the allocation-policy tournament — every
+// registered kernel policy over the scan-heavy Figure 5 mixes, apps
+// oblivious so the policy is the only variable — after the requested
+// experiments: rendered tables normally, a "policy_tournament" section
+// (one structured cell per policy × mix) under -json. It is also
+// reachable as -run tournament, which runs only the tournament tables.
 //
 // -charts renders Figures 4-6 as ASCII bar charts instead of tables. It
 // honors -parallel and -sizes (the chart runs go through the same
@@ -89,6 +97,9 @@ type jsonRun struct {
 type jsonReport struct {
 	Run  string    `json:"run"`
 	Runs []jsonRun `json:"runs"`
+	// PolicyTournament is the -tournament matrix: one cell per
+	// (allocation policy, scan-heavy mix), policy-major.
+	PolicyTournament []expt.TournamentResult `json:"policy_tournament,omitempty"`
 }
 
 func main() {
@@ -104,6 +115,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
 	memProfile := flag.String("memprofile", "", "write a post-GC heap profile at exit to `file`")
 	noFastPath := flag.Bool("nofastpath", false, "disable the DES engine's lookahead fast path (output must be byte-identical; for verification and A/B timing)")
+	tournamentFlag := flag.Bool("tournament", false, "append the allocation-policy tournament (every policy over the scan-heavy mixes)")
 	flag.Parse()
 
 	baseOpts := expt.Options{NoFastPath: *noFastPath}
@@ -171,7 +183,13 @@ func run() int {
 	}
 
 	if !*jsonFlag {
-		runSuite(expt.NewRunner(*parallelFlag, baseOpts), ids, sizes, os.Stdout)
+		runner := expt.NewRunner(*parallelFlag, baseOpts)
+		runSuite(runner, ids, sizes, os.Stdout)
+		if *tournamentFlag && *runFlag != "tournament" {
+			for _, tb := range expt.Tournament(runner) {
+				tb.Render(os.Stdout)
+			}
+		}
 		return 0
 	}
 
@@ -190,6 +208,9 @@ func run() int {
 	report := jsonReport{Run: *runFlag}
 	for _, lvl := range levels {
 		report.Runs = append(report.Runs, runSuite(expt.NewRunner(lvl, baseOpts), ids, sizes, io.Discard))
+	}
+	if *tournamentFlag {
+		report.PolicyTournament = expt.RunTournament(expt.NewRunner(*parallelFlag, baseOpts), 6.4)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

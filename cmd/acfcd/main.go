@@ -9,12 +9,19 @@
 //
 //	acfcd -listen unix:/tmp/acfcd.sock [-metrics 127.0.0.1:9090]
 //	      [-pprof 127.0.0.1:6060]
-//	      [-cache-mb 6.4] [-alloc lru-sp] [-store mem|/path/to/file]
+//	      [-cache-mb 6.4] [-alloc lru-sp] [-adapt-alloc global-lru,arc]
+//	      [-store mem|/path/to/file]
 //	      [-shards 1] [-idle 2m] [-inflight 32] [-evict-on-close]
 //	      [-check-invariants] [-writeback-depth 0] [-readahead 0]
 //	      [-fill-workers 4] [-store-latency 0] [-store-jitter 0]
 //	      [-cluster tcp:h1:p1,tcp:h2:p2,...] [-origin mem|dir:/path]
 //	      [-ring-replicas 128]
+//
+// -alloc names any policy in the kernel's registry (cache.AllocNames:
+// global-lru, lru-sp, lru-s, alloc-lru, arc, awrp); clients can re-point
+// a live daemon with the set_alloc wire op. -adapt-alloc instead hands
+// each shard's policy to the online adapter, which samples the listed
+// candidates by windowed hit ratio and settles on the best.
 //
 // With -cluster, the daemon joins a static multi-node tier: the member
 // list (which must include this node's -listen spec) is hashed into a
@@ -48,13 +55,6 @@ import (
 	"repro/internal/server"
 )
 
-var allocNames = map[string]cache.Alloc{
-	"global-lru": cache.GlobalLRU,
-	"lru-sp":     cache.LRUSP,
-	"lru-s":      cache.LRUS,
-	"alloc-lru":  cache.AllocLRU,
-}
-
 func main() {
 	os.Exit(run())
 }
@@ -64,7 +64,10 @@ func run() int {
 	metricsFlag := flag.String("metrics", "", "HTTP /metrics listen address (empty: disabled)")
 	pprofFlag := flag.String("pprof", "", "HTTP net/http/pprof listen address (empty: disabled)")
 	cacheFlag := flag.Float64("cache-mb", 6.4, "cache size in MB")
-	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
+	allocFlag := flag.String("alloc", "lru-sp", fmt.Sprintf("allocation policy: %v", cache.AllocNames()))
+	adaptFlag := flag.String("adapt-alloc", "", "comma-separated candidate policies for the per-shard online adapter (empty: off)")
+	adaptEveryFlag := flag.Int64("adapt-every", 0, "adapter epoch length in completed hit windows (0: default 4)")
+	adaptHystFlag := flag.Int64("adapt-hysteresis-bp", 0, "adapter switch threshold in basis points of hit ratio (0: default 200)")
 	storeFlag := flag.String("store", "mem", "block store: mem, or a backing file path")
 	idleFlag := flag.Duration("idle", 2*time.Minute, "session idle timeout")
 	inflightFlag := flag.Int("inflight", 32, "max pipelined requests per session")
@@ -82,10 +85,20 @@ func run() int {
 	replicasFlag := flag.Int("ring-replicas", 0, "virtual nodes per member on the hash ring (0: default 128)")
 	flag.Parse()
 
-	alloc, ok := allocNames[*allocFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "acfcd: unknown alloc %q\n", *allocFlag)
+	alloc, err := cache.ParseAlloc(*allocFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acfcd: %v\n", err)
 		return 2
+	}
+	var adaptAlloc []string
+	if *adaptFlag != "" {
+		adaptAlloc = strings.Split(*adaptFlag, ",")
+		for _, name := range adaptAlloc {
+			if _, err := cache.ParseAlloc(name); err != nil {
+				fmt.Fprintf(os.Stderr, "acfcd: -adapt-alloc: %v\n", err)
+				return 2
+			}
+		}
 	}
 	var store disk.Store
 	if *storeFlag != "mem" {
@@ -115,12 +128,15 @@ func run() int {
 			ReadAheadDepth: *raFlag,
 			WallClock:      true,
 		},
-		Shards:          *shardsFlag,
-		WritebackDepth:  *wbDepthFlag,
-		FillWorkers:     *fillWorkersFlag,
-		MaxInflight:     *inflightFlag,
-		IdleTimeout:     *idleFlag,
-		CheckInvariants: *invFlag,
+		Shards:            *shardsFlag,
+		WritebackDepth:    *wbDepthFlag,
+		FillWorkers:       *fillWorkersFlag,
+		MaxInflight:       *inflightFlag,
+		IdleTimeout:       *idleFlag,
+		CheckInvariants:   *invFlag,
+		AdaptAlloc:        adaptAlloc,
+		AdaptEvery:        *adaptEveryFlag,
+		AdaptHysteresisBP: *adaptHystFlag,
 	}
 
 	// Cluster mode swaps the base store for the cluster tier's NodeStore;

@@ -53,13 +53,6 @@ import (
 	"repro/internal/workload"
 )
 
-var allocNames = map[string]cache.Alloc{
-	"global-lru": cache.GlobalLRU,
-	"lru-sp":     cache.LRUSP,
-	"lru-s":      cache.LRUS,
-	"alloc-lru":  cache.AllocLRU,
-}
-
 func main() {
 	os.Exit(run())
 }
@@ -195,9 +188,9 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "acload: %v\n", err)
 		return 2
 	}
-	alloc, ok := allocNames[*allocFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "acload: unknown alloc %q\n", *allocFlag)
+	alloc, err := cache.ParseAlloc(*allocFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acload: %v\n", err)
 		return 2
 	}
 	if *shardsFlag != "" && !*selfFlag {

@@ -26,13 +26,6 @@ import (
 	"repro/internal/workload"
 )
 
-var allocNames = map[string]cache.Alloc{
-	"global-lru": cache.GlobalLRU,
-	"lru-sp":     cache.LRUSP,
-	"lru-s":      cache.LRUS,
-	"alloc-lru":  cache.AllocLRU,
-}
-
 var modeNames = map[string]workload.Mode{
 	"oblivious": workload.Oblivious,
 	"smart":     workload.Smart,
@@ -42,7 +35,7 @@ var modeNames = map[string]workload.Mode{
 func main() {
 	appsFlag := flag.String("apps", "", "comma-separated name[:mode] specs (required)")
 	cacheFlag := flag.Float64("cache", 6.4, "cache size in MB")
-	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
+	allocFlag := flag.String("alloc", "lru-sp", fmt.Sprintf("allocation policy: %v", cache.AllocNames()))
 	seedFlag := flag.Uint64("seed", 1, "simulation seed")
 	revokeFlag := flag.Bool("revoke", false, "enable foolish-manager revocation")
 	noRAFlag := flag.Bool("no-readahead", false, "disable sequential read-ahead")
@@ -52,9 +45,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	alloc, ok := allocNames[*allocFlag]
-	if !ok {
-		fail("unknown alloc %q", *allocFlag)
+	alloc, err := cache.ParseAlloc(*allocFlag)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	cfg := core.DefaultConfig()

@@ -30,18 +30,11 @@ import (
 	"repro/internal/workload"
 )
 
-var allocNames = map[string]cache.Alloc{
-	"global-lru": cache.GlobalLRU,
-	"lru-sp":     cache.LRUSP,
-	"lru-s":      cache.LRUS,
-	"alloc-lru":  cache.AllocLRU,
-}
-
 func main() {
 	appFlag := flag.String("app", "", "workload: "+strings.Join(appNames(), ", "))
 	modeFlag := flag.String("mode", "smart", "oblivious, smart or foolish")
 	cacheFlag := flag.Float64("cache", 6.4, "cache size in MB")
-	allocFlag := flag.String("alloc", "lru-sp", "global-lru, lru-sp, lru-s or alloc-lru")
+	allocFlag := flag.String("alloc", "lru-sp", fmt.Sprintf("allocation policy: %v", cache.AllocNames()))
 	dumpFlag := flag.Bool("dump", false, "dump the block reference stream")
 	compareFlag := flag.Bool("compare", false, "replay the reference stream through standalone LRU, MRU and Belady-OPT caches")
 	flag.Parse()
@@ -56,9 +49,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "actrace: %v\n", err)
 		os.Exit(2)
 	}
-	alloc, ok := allocNames[*allocFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "actrace: unknown alloc %q\n", *allocFlag)
+	alloc, err := cache.ParseAlloc(*allocFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actrace: %v\n", err)
 		os.Exit(2)
 	}
 	if mode != workload.Oblivious && alloc == cache.GlobalLRU {

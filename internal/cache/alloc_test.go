@@ -35,33 +35,74 @@ func TestLookupHitZeroAllocs(t *testing.T) {
 }
 
 // TestMissReplaceSteadyStateZeroAllocs drives the full two-level miss
-// protocol — LRU candidate, replace_block consultation, eviction,
-// arena-recycled insertion — in steady state and requires it not to
-// allocate either: buffers come off the free list and the indexes never
-// rehash.
+// protocol — policy victim selection, replace_block consultation,
+// eviction, arena-recycled insertion — in steady state and requires it
+// not to allocate, for every registered policy: buffers come off the
+// free list, the indexes never rehash, and the new victim-selection path
+// (ARC's ghost bookkeeping, AWRP's weight scan) stays on the arena
+// discipline too.
 func TestMissReplaceSteadyStateZeroAllocs(t *testing.T) {
+	for _, alloc := range cache.AllocNames() {
+		alloc := alloc
+		t.Run(alloc.String(), func(t *testing.T) {
+			a := acm.New(func() sim.Time { return 0 }, acm.Limits{})
+			c := cache.New(cache.Config{Capacity: 128, Alloc: alloc}, a)
+			if _, err := a.CreateManager(1); err != nil {
+				t.Fatal(err)
+			}
+			n := int32(0)
+			miss := func() {
+				id := cache.BlockID{File: 1, Num: n}
+				n++
+				if c.Lookup(id, 0, 8192) == nil {
+					c.Insert(id, 1, 0)
+				}
+			}
+			for i := 0; i < 4*128; i++ {
+				miss() // reach the eviction regime and settle all capacities
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				for i := 0; i < 32; i++ {
+					miss()
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s steady-state miss path allocated %.1f times per run, want 0", alloc, allocs)
+			}
+			c.CheckInvariants()
+		})
+	}
+}
+
+// TestGhostHitSteadyStateZeroAllocs drives ARC through its richest
+// transition — misses that hit the ghost directory, adapt p, and insert
+// into T2 — plus warm hits that promote T1→T2, still allocation-free.
+func TestGhostHitSteadyStateZeroAllocs(t *testing.T) {
 	a := acm.New(func() sim.Time { return 0 }, acm.Limits{})
-	c := cache.New(cache.Config{Capacity: 128, Alloc: cache.LRUSP}, a)
+	c := cache.New(cache.Config{Capacity: 64, Alloc: cache.ARC}, a)
 	if _, err := a.CreateManager(1); err != nil {
 		t.Fatal(err)
 	}
-	n := int32(0)
-	miss := func() {
-		id := cache.BlockID{File: 1, Num: n}
-		n++
+	access := func(num int32) {
+		id := cache.BlockID{File: 1, Num: num}
 		if c.Lookup(id, 0, 8192) == nil {
 			c.Insert(id, 1, 0)
 		}
 	}
-	for i := 0; i < 4*128; i++ {
-		miss() // reach the eviction regime and settle all capacities
+	// A cycle over 96 blocks through a 64-block cache: every miss on the
+	// second and later laps finds its id in a ghost list.
+	for lap := 0; lap < 8; lap++ {
+		for n := int32(0); n < 96; n++ {
+			access(n)
+		}
 	}
-	allocs := testing.AllocsPerRun(200, func() {
-		for i := 0; i < 32; i++ {
-			miss()
+	allocs := testing.AllocsPerRun(100, func() {
+		for n := int32(0); n < 96; n++ {
+			access(n)
 		}
 	})
 	if allocs != 0 {
-		t.Errorf("steady-state miss path allocated %.1f times per run, want 0", allocs)
+		t.Errorf("ARC ghost-hit path allocated %.1f times per run, want 0", allocs)
 	}
+	c.CheckInvariants()
 }

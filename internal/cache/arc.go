@@ -1,0 +1,418 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// arcPolicy is ARC (Megiddo & Modha) as an allocation policy: resident
+// blocks split into T1 (seen once since last eviction) and T2 (seen at
+// least twice), shadowed by the ghost lists B1 and B2 remembering
+// recently evicted block ids from each side. A miss whose id is found in
+// a ghost list adapts the target size p of T1 — a B1 hit says "recency
+// was being evicted too eagerly" and grows p, a B2 hit shrinks it — and
+// the victim is taken from whichever resident list exceeds its target.
+//
+// Fit with two-level replacement: ARC here is the *allocation* policy
+// only — it picks the candidate owner/block; the candidate's manager may
+// still overrule through replace_block, in which case Overruled swaps
+// the two buffers' ARC list slots (the chosen block inherits the
+// candidate's position, mirroring what LRU-SP does to the global list)
+// and the ghost is recorded for the block actually evicted.
+//
+// Memory discipline: resident linkage is intrusive (Buf.pol.prev/next),
+// ghosts live in a fixed arena of Capacity records recycled through a
+// free list, and the ghost index is a pre-sized oaTable — steady state
+// allocates nothing. The directory invariants |T1|+|B1| <= c and
+// |T1|+|T2|+|B1|+|B2| <= 2c bound the ghost population by c, so the
+// arena never runs dry while the invariants hold (and pruning the
+// longer ghost list covers the transients where they briefly don't,
+// e.g. after InvalidateFile shrinks the resident side).
+type arcPolicy struct {
+	c *Cache
+
+	t1, t2 arcList // resident lists (LRU at head side)
+	b1, b2 int     // ghost list lengths
+	p      int     // adaptive target size of T1
+
+	ghostHead1, ghostTail1 arcGhost // B1 sentinels
+	ghostHead2, ghostTail2 arcGhost // B2 sentinels
+	ghosts                 oaTable[arcGhost]
+	ghostArena             []arcGhost
+	freeGhosts             *arcGhost
+
+	// pending carries context from Victim to the Removed and Inserted
+	// upcalls of the same miss: which buffer the policy chose (so its
+	// removal, and only its removal, makes a ghost) and whether the
+	// missing block was a ghost hit (so its insert lands in T2).
+	pendingVictim *Buf
+	pendingT2     key
+	hasPendingT2  bool
+}
+
+// Buf.pol.list values.
+const (
+	arcInT1 uint8 = 1
+	arcInT2 uint8 = 2
+)
+
+// arcGhost is one ghost-list entry: a block id remembered after
+// eviction. Intrusive doubly-linked (MRU at next of head... see arcList
+// comment), recycled through free.
+type arcGhost struct {
+	k          key
+	prev, next *arcGhost
+	list       uint8 // arcInT1 => B1, arcInT2 => B2
+	free       *arcGhost
+}
+
+// arcList is an intrusive list over Buf.pol with sentinel Bufs:
+// head.pol.next is the LRU end, tail.pol.prev the MRU end.
+type arcList struct {
+	head, tail Buf
+	n          int
+}
+
+func (l *arcList) init() {
+	l.head.pol.next = &l.tail
+	l.tail.pol.prev = &l.head
+	l.n = 0
+}
+
+func (l *arcList) pushMRU(b *Buf) {
+	b.pol.prev = l.tail.pol.prev
+	b.pol.next = &l.tail
+	b.pol.prev.pol.next = b
+	l.tail.pol.prev = b
+	l.n++
+}
+
+func (l *arcList) unlink(b *Buf) {
+	b.pol.prev.pol.next = b.pol.next
+	b.pol.next.pol.prev = b.pol.prev
+	b.pol.prev, b.pol.next = nil, nil
+	l.n--
+}
+
+// lru returns the least-recently-used entry, or nil when empty.
+func (l *arcList) lru() *Buf {
+	if l.n == 0 {
+		return nil
+	}
+	return l.head.pol.next
+}
+
+func newARCPolicy(c *Cache) AllocPolicy {
+	p := &arcPolicy{c: c}
+	p.t1.init()
+	p.t2.init()
+	p.ghostHead1.next = &p.ghostTail1
+	p.ghostTail1.prev = &p.ghostHead1
+	p.ghostHead2.next = &p.ghostTail2
+	p.ghostTail2.prev = &p.ghostHead2
+	p.ghosts.reserve(c.cfg.Capacity)
+	p.ghostArena = make([]arcGhost, c.cfg.Capacity)
+	for i := range p.ghostArena {
+		p.ghostArena[i].free = p.freeGhosts
+		p.freeGhosts = &p.ghostArena[i]
+	}
+	return p
+}
+
+func (p *arcPolicy) Name() Alloc        { return ARC }
+func (p *arcPolicy) TwoLevel() bool     { return true }
+func (p *arcPolicy) Placeholders() bool { return false }
+
+// --- ghost bookkeeping ---
+
+func (p *arcPolicy) ghostSentinels(list uint8) (*arcGhost, *arcGhost) {
+	if list == arcInT1 {
+		return &p.ghostHead1, &p.ghostTail1
+	}
+	return &p.ghostHead2, &p.ghostTail2
+}
+
+func (p *arcPolicy) addGhost(k key, list uint8) {
+	g := p.freeGhosts
+	if g == nil {
+		// Arena dry (directory invariant transiently exceeded): recycle
+		// the LRU ghost of the longer list.
+		victimList := arcInT1
+		if p.b2 > p.b1 {
+			victimList = arcInT2
+		}
+		head, _ := p.ghostSentinels(victimList)
+		p.dropGhost(head.next)
+		g = p.freeGhosts
+	}
+	p.freeGhosts = g.free
+	g.free = nil
+	g.k = k
+	g.list = list
+	_, tail := p.ghostSentinels(list)
+	g.prev = tail.prev
+	g.next = tail
+	g.prev.next = g
+	tail.prev = g
+	if list == arcInT1 {
+		p.b1++
+	} else {
+		p.b2++
+	}
+	p.ghosts.put(k, g)
+}
+
+func (p *arcPolicy) dropGhost(g *arcGhost) {
+	p.ghosts.del(g.k)
+	g.prev.next = g.next
+	g.next.prev = g.prev
+	if g.list == arcInT1 {
+		p.b1--
+	} else {
+		p.b2--
+	}
+	*g = arcGhost{free: p.freeGhosts}
+	p.freeGhosts = g
+}
+
+// dropGhostLRU prunes the LRU end of B1 or B2 if non-empty.
+func (p *arcPolicy) dropGhostLRU(list uint8) {
+	head, tail := p.ghostSentinels(list)
+	if head.next != tail {
+		p.dropGhost(head.next)
+	}
+}
+
+// --- upcalls ---
+
+// Inserted places the new block: a ghost hit (detected by Victim on the
+// full path, or looked up here on the not-full path) lands in T2; a
+// genuinely new block lands in T1.
+func (p *arcPolicy) Inserted(b *Buf) {
+	k := b.ID.pack()
+	if p.hasPendingT2 && k == p.pendingT2 {
+		p.hasPendingT2 = false
+		b.pol.list = arcInT2
+		p.t2.pushMRU(b)
+		return
+	}
+	// Not-full path: Victim was not consulted, so the ghost lookup and
+	// adaptation happen here. (Full path misses already consumed their
+	// ghost in Victim.)
+	if g := p.ghosts.get(k); g != nil {
+		p.adapt(g.list)
+		p.dropGhost(g)
+		b.pol.list = arcInT2
+		p.t2.pushMRU(b)
+		return
+	}
+	b.pol.list = arcInT1
+	p.t1.pushMRU(b)
+}
+
+// Touched promotes a hit block to the MRU end of T2.
+func (p *arcPolicy) Touched(b *Buf) {
+	if b.pol.list == arcInT1 {
+		p.t1.unlink(b)
+	} else {
+		p.t2.unlink(b)
+	}
+	b.pol.list = arcInT2
+	p.t2.pushMRU(b)
+}
+
+// Removed unlinks b from its resident list; if b is the victim this
+// policy chose for the in-flight miss, its id becomes a ghost on the
+// side it was resident on.
+func (p *arcPolicy) Removed(b *Buf) {
+	list := b.pol.list
+	if list == arcInT1 {
+		p.t1.unlink(b)
+	} else if list == arcInT2 {
+		p.t2.unlink(b)
+	}
+	b.pol.list = 0
+	if b == p.pendingVictim {
+		p.pendingVictim = nil
+		if list != 0 {
+			p.addGhost(b.ID.pack(), list)
+		}
+	}
+}
+
+// adapt moves the T1 target p toward the side whose ghost was hit.
+func (p *arcPolicy) adapt(ghostList uint8) {
+	if ghostList == arcInT1 { // B1 hit: grow T1's share
+		d := 1
+		if p.b1 > 0 && p.b2/p.b1 > 1 {
+			d = p.b2 / p.b1
+		}
+		p.p += d
+		if p.p > p.c.cfg.Capacity {
+			p.p = p.c.cfg.Capacity
+		}
+	} else { // B2 hit: grow T2's share
+		d := 1
+		if p.b2 > 0 && p.b1/p.b2 > 1 {
+			d = p.b1 / p.b2
+		}
+		p.p -= d
+		if p.p < 0 {
+			p.p = 0
+		}
+	}
+}
+
+// scanLRU finds the least-recently-used non-busy entry of l, or nil.
+func scanLRU(l *arcList, now sim.Time) *Buf {
+	for b := l.head.pol.next; b != &l.tail; b = b.pol.next {
+		if !b.Busy(now) {
+			return b
+		}
+	}
+	return nil
+}
+
+// Victim implements ARC's REPLACE plus the directory maintenance of a
+// full miss. Busy buffers are skipped within the preferred list, then
+// the other list is tried, then the plain LRU fallback (which may return
+// a busy buffer — the cache's final fallback semantics).
+func (p *arcPolicy) Victim(missing BlockID, now sim.Time) *Buf {
+	k := missing.pack()
+	ghostSide := uint8(0)
+	if g := p.ghosts.get(k); g != nil {
+		ghostSide = g.list
+		p.adapt(ghostSide)
+		p.dropGhost(g)
+		p.pendingT2 = k
+		p.hasPendingT2 = true
+	} else {
+		p.hasPendingT2 = false
+		// Directory maintenance for a full miss outside the directory
+		// (ARC's case IV): cap |T1|+|B1| at c, the whole directory at 2c.
+		c := p.c.cfg.Capacity
+		if p.t1.n+p.b1 >= c {
+			p.dropGhostLRU(arcInT1)
+		} else if p.t1.n+p.t2.n+p.b1+p.b2 >= 2*c {
+			p.dropGhostLRU(arcInT2)
+		}
+	}
+
+	// REPLACE(missing, p): evict from T1 when it exceeds its target (or
+	// meets it exactly on a B2 ghost hit), else from T2.
+	fromT1 := p.t1.n > 0 && (p.t1.n > p.p || (ghostSide == arcInT2 && p.t1.n == p.p))
+	var b *Buf
+	if fromT1 {
+		b = scanLRU(&p.t1, now)
+		if b == nil {
+			b = scanLRU(&p.t2, now)
+		}
+	} else {
+		b = scanLRU(&p.t2, now)
+		if b == nil {
+			b = scanLRU(&p.t1, now)
+		}
+	}
+	if b == nil {
+		// Everything is busy (or, impossibly, both lists are empty):
+		// defer to the global-list fallback, which yields the plain LRU
+		// buffer even mid-I/O.
+		b = p.c.lruScan(now)
+	}
+	p.pendingVictim = b
+	return b
+}
+
+// Overruled transfers the eviction from candidate to chosen: chosen
+// inherits candidate's ARC list slot (and vice versa), and the pending
+// ghost will be recorded for chosen, the block actually leaving.
+func (p *arcPolicy) Overruled(candidate, chosen *Buf) {
+	p.arcSwap(candidate, chosen)
+	if p.pendingVictim == candidate {
+		p.pendingVictim = chosen
+	}
+}
+
+// checkInvariants audits the policy's structures; Cache.CheckInvariants
+// calls it through the optional interface. Panics on the first
+// violation.
+func (p *arcPolicy) checkInvariants() {
+	walk := func(l *arcList, tag uint8, name string) int {
+		n := 0
+		for b := l.head.pol.next; b != &l.tail; b = b.pol.next {
+			n++
+			if b.pol.list != tag {
+				panic(fmt.Sprintf("cache/arc: %s member %v tagged %d", name, b.ID, b.pol.list))
+			}
+			if p.c.table.get(b.ID.pack()) != b {
+				panic(fmt.Sprintf("cache/arc: %s member %v not cached", name, b.ID))
+			}
+			if b.pol.next.pol.prev != b {
+				panic(fmt.Sprintf("cache/arc: %s linkage broken at %v", name, b.ID))
+			}
+		}
+		if n != l.n {
+			panic(fmt.Sprintf("cache/arc: %s length %d, walked %d", name, l.n, n))
+		}
+		return n
+	}
+	if r := walk(&p.t1, arcInT1, "T1") + walk(&p.t2, arcInT2, "T2"); r != p.c.count {
+		panic(fmt.Sprintf("cache/arc: %d residents in T1+T2, cache holds %d", r, p.c.count))
+	}
+	ghostWalk := func(head, tail *arcGhost, tag uint8, want int, name string) {
+		n := 0
+		for g := head.next; g != tail; g = g.next {
+			n++
+			if g.list != tag {
+				panic(fmt.Sprintf("cache/arc: %s ghost tagged %d", name, g.list))
+			}
+			if p.ghosts.get(g.k) != g {
+				panic(fmt.Sprintf("cache/arc: %s ghost %v not indexed", name, g.k.unpack()))
+			}
+			if p.c.table.get(g.k) != nil {
+				panic(fmt.Sprintf("cache/arc: ghost %v for resident block", g.k.unpack()))
+			}
+		}
+		if n != want {
+			panic(fmt.Sprintf("cache/arc: %s length %d, walked %d", name, want, n))
+		}
+	}
+	ghostWalk(&p.ghostHead1, &p.ghostTail1, arcInT1, p.b1, "B1")
+	ghostWalk(&p.ghostHead2, &p.ghostTail2, arcInT2, p.b2, "B2")
+	if p.ghosts.len() != p.b1+p.b2 {
+		panic(fmt.Sprintf("cache/arc: ghost index %d, lists %d+%d", p.ghosts.len(), p.b1, p.b2))
+	}
+	if p.p < 0 || p.p > p.c.cfg.Capacity {
+		panic(fmt.Sprintf("cache/arc: target p=%d outside [0,%d]", p.p, p.c.cfg.Capacity))
+	}
+}
+
+// arcSwap exchanges the list positions (and list identities) of a and b
+// across T1/T2.
+func (p *arcPolicy) arcSwap(a, b *Buf) {
+	if a == b {
+		return
+	}
+	ap, bn := a.pol.prev, b.pol.next
+	if a.pol.next == b { // adjacent: a before b
+		a.pol.prev.pol.next = b
+		b.pol.prev = a.pol.prev
+		a.pol.next = b.pol.next
+		b.pol.next.pol.prev = a
+		b.pol.next = a
+		a.pol.prev = b
+	} else if b.pol.next == a { // adjacent: b before a
+		p.arcSwap(b, a)
+		return
+	} else {
+		an, bp := a.pol.next, b.pol.prev
+		ap.pol.next, an.pol.prev = b, b
+		b.pol.prev, b.pol.next = ap, an
+		bp.pol.next, bn.pol.prev = a, a
+		a.pol.prev, a.pol.next = bp, bn
+	}
+	a.pol.list, b.pol.list = b.pol.list, a.pol.list
+	// List lengths: if they were in different lists, each list's length
+	// is unchanged (one member swapped for another); same list likewise.
+}

@@ -14,8 +14,11 @@
 // block both selects the kept block as the next candidate and reports the
 // manager's mistake (placeholder_used).
 //
-// Four allocation policies are provided, matching the paper's Section 6
-// comparisons:
+// Allocation policies are pluggable (policy.go): a name-keyed registry
+// of AllocPolicy implementations selected by Config.Alloc and
+// hot-swappable at runtime through SetAlloc. Six ship built in — the
+// four matching the paper's Section 6 comparisons, plus two adaptive
+// extensions:
 //
 //	GlobalLRU — the original kernel: plain global LRU, no application
 //	            control at all (managers are never consulted).
@@ -23,6 +26,8 @@
 //	LRUS      — swapping but no placeholders ("unprotected" in Table 1).
 //	AllocLRU  — two-level replacement over a plain LRU list: managers are
 //	            consulted but no swapping, no placeholders (Figure 6).
+//	ARC       — adaptive replacement (T1/T2 + ghost lists; arc.go).
+//	AWRP      — adaptive weight ranking on frequency x recency (awrp.go).
 //
 // The simulation's unit of work is the block access, so this package is
 // engineered to be allocation-free in steady state: buffers live in one
@@ -65,42 +70,6 @@ const NoOwner = -1
 // even if it is evicted (the callback still holds the pointer).
 const IOPending = sim.Time(math.MaxInt64)
 
-// Alloc selects the kernel's global allocation policy.
-type Alloc int
-
-// Allocation policies.
-const (
-	GlobalLRU Alloc = iota
-	LRUSP
-	LRUS
-	AllocLRU
-)
-
-func (a Alloc) String() string {
-	switch a {
-	case GlobalLRU:
-		return "global-lru"
-	case LRUSP:
-		return "lru-sp"
-	case LRUS:
-		return "lru-s"
-	case AllocLRU:
-		return "alloc-lru"
-	}
-	return fmt.Sprintf("alloc(%d)", int(a))
-}
-
-// swapping reports whether the policy swaps candidate/alternative list
-// positions when a manager overrules the kernel.
-func (a Alloc) swapping() bool { return a == LRUSP || a == LRUS }
-
-// placeholders reports whether the policy builds placeholders for
-// overruled decisions.
-func (a Alloc) placeholders() bool { return a == LRUSP }
-
-// twoLevel reports whether managers are consulted at all.
-func (a Alloc) twoLevel() bool { return a != GlobalLRU }
-
 // Buf is one cache buffer. The BUF module owns the global-list linkage and
 // placeholder back-pointers; the embedded ACMNode belongs to the
 // application control module for its per-block state.
@@ -128,6 +97,11 @@ type Buf struct {
 	// acm is the Replacer's per-block state, embedded so that the five
 	// BUF→ACM upcalls never box, assert, or allocate (see acmnode.go).
 	acm ACMNode
+
+	// pol is the allocation policy's per-block state (see policy.go),
+	// embedded for the same reason: policies must never allocate per
+	// block. Reset when the buffer recycles and on policy hot-swap.
+	pol polNode
 
 	gprev, gnext *Buf // global allocation list; nil when not linked
 	holders      []*placeholder
@@ -195,6 +169,7 @@ type Stats struct {
 	Vindicated      int64 `json:"vindicated"`       // placeholders dropped because the kept block was used
 	Transfers       int64 `json:"transfers"`        // shared-block ownership transfers
 	Revocations     int64 `json:"revocations"`
+	AllocSwaps      int64 `json:"alloc_swaps"` // live allocation-policy hot-swaps (SetAlloc)
 }
 
 // Accumulate folds o into s. Used to aggregate the caches of many
@@ -210,6 +185,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Vindicated += o.Vindicated
 	s.Transfers += o.Transfers
 	s.Revocations += o.Revocations
+	s.AllocSwaps += o.AllocSwaps
 }
 
 // OwnerStats tracks one manager's decision quality for the revocation
@@ -264,6 +240,7 @@ type Cache struct {
 	count      int
 	ph         oaTable[placeholder] // packed BlockID -> live placeholder
 	repl       Replacer
+	pol        AllocPolicy // the allocation policy in force; swapped by SetAlloc
 	stats      Stats
 	owners     []*OwnerStats // indexed by owner id; nil = no record yet
 	noOwner    OwnerStats    // shared record for all negative owner ids
@@ -286,24 +263,29 @@ type Cache struct {
 	zombies   []*Slot
 }
 
-// New builds a cache. The Replacer may be nil only for GlobalLRU.
+// New builds a cache. The Replacer may be nil only for policies that
+// never consult managers (GlobalLRU). The policy name must be in the
+// registry — an unknown name is a construction-time bug and panics,
+// exactly as an out-of-range enum value once would have.
 func New(cfg Config, repl Replacer) *Cache {
 	if cfg.Capacity <= 0 {
 		panic("cache: non-positive capacity")
 	}
-	if repl == nil && cfg.Alloc.twoLevel() {
-		panic("cache: two-level policy requires a Replacer")
-	}
+	cfg.Alloc = cfg.Alloc.norm()
 	c := &Cache{
 		cfg:  cfg,
 		head: &Buf{},
 		tail: &Buf{},
 		repl: repl,
 	}
+	c.pol = c.newAllocPolicy(cfg.Alloc)
+	if repl == nil && c.pol.TwoLevel() {
+		panic("cache: two-level policy requires a Replacer")
+	}
 	c.head.gnext = c.tail
 	c.tail.gprev = c.head
 	c.table.reserve(cfg.Capacity)
-	if cfg.Alloc.placeholders() {
+	if c.pol.Placeholders() {
 		// Pre-size the placeholder index too: its population tracks the
 		// cached blocks placeholders point at, so reserving capacity
 		// keeps steady-state placeholder churn rehash- and alloc-free.
@@ -387,8 +369,8 @@ func (c *Cache) Capacity() int { return c.cfg.Capacity }
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int { return c.count }
 
-// Alloc returns the allocation policy in force.
-func (c *Cache) Alloc() Alloc { return c.cfg.Alloc }
+// Alloc returns the name of the allocation policy in force.
+func (c *Cache) Alloc() Alloc { return c.pol.Name() }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -524,6 +506,7 @@ func (c *Cache) LookupBy(id BlockID, accessor int, off, size int) *Buf {
 	b.Referenced = true
 	c.unlink(b)
 	c.linkMRU(b)
+	c.pol.Touched(b)
 	// A reference to a block some placeholder points at vindicates the
 	// manager's decision to keep it: the kept block proved useful before
 	// the replaced one was needed again, which is what LRU itself would
@@ -562,7 +545,7 @@ func (c *Cache) Peek(id BlockID) *Buf { return c.table.get(id.pack()) }
 // managed reports whether owner has an active, non-revoked manager under a
 // two-level policy.
 func (c *Cache) managed(owner int) bool {
-	if owner < 0 || !c.cfg.Alloc.twoLevel() {
+	if owner < 0 || !c.pol.TwoLevel() {
 		return false
 	}
 	if os := c.ownerRecord(owner); os != nil && os.Revoked {
@@ -599,6 +582,7 @@ func (c *Cache) Insert(id BlockID, owner int, now sim.Time) (*Buf, *Victim) {
 	c.table.put(k, b)
 	c.linkMRU(b)
 	c.count++
+	c.pol.Inserted(b)
 	if c.managed(owner) {
 		c.repl.NewBlock(b)
 	}
@@ -612,7 +596,7 @@ func (c *Cache) evictFor(missing BlockID, now sim.Time) *Victim {
 	// overrides the LRU choice and reports the manager's earlier
 	// mistake.
 	var candidate *Buf
-	if c.cfg.Alloc.placeholders() {
+	if c.pol.Placeholders() {
 		if ph := c.ph.get(missing.pack()); ph != nil {
 			candidate = ph.points
 			c.dropPlaceholder(ph)
@@ -627,7 +611,7 @@ func (c *Cache) evictFor(missing BlockID, now sim.Time) *Victim {
 		}
 	}
 	if candidate == nil {
-		candidate = c.lruScan(now)
+		candidate = c.pol.Victim(missing, now)
 	}
 
 	// Step 2: consult the candidate's manager.
@@ -639,11 +623,11 @@ func (c *Cache) evictFor(missing BlockID, now sim.Time) *Victim {
 			chosen = alt
 			c.stats.Overrules++
 			c.recordDecision(candidate.Owner)
-			// Step 3: swapping and placeholder construction.
-			if c.cfg.Alloc.swapping() {
-				c.swapPositions(candidate, chosen)
-			}
-			if c.cfg.Alloc.placeholders() {
+			// Step 3: the policy mirrors the overrule in its structures
+			// (LRU-SP/LRU-S swap list positions), then the placeholder
+			// records the decision.
+			c.pol.Overruled(candidate, chosen)
+			if c.pol.Placeholders() {
 				c.setPlaceholder(chosen.ID, candidate)
 			}
 		}
@@ -699,6 +683,9 @@ func (c *Cache) remove(b *Buf) {
 		c.freePlaceholder(ph)
 	}
 	b.holders = b.holders[:0]
+	// The policy unlinks its per-block state on every removal path —
+	// eviction, invalidation, owner sweeps — before the buffer recycles.
+	c.pol.Removed(b)
 	// Unconditionally, not gated on managed(): a revoked owner's blocks
 	// are still linked in its ACM levels, and recycling a linked node
 	// would corrupt the intrusive lists. BlockGone no-ops when unlinked.
@@ -907,5 +894,10 @@ func (c *Cache) CheckInvariants() {
 		if s.Pinned() {
 			panic("cache: pinned slot on the free list")
 		}
+	}
+	// Policies with internal structure audit themselves too (ARC walks
+	// its T1/T2 lists and the ghost directory).
+	if ci, ok := c.pol.(interface{ checkInvariants() }); ok {
+		ci.checkInvariants()
 	}
 }

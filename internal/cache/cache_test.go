@@ -1,6 +1,7 @@
 package cache_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -105,16 +106,37 @@ func TestBadCapacityPanics(t *testing.T) {
 }
 
 func TestAllocStrings(t *testing.T) {
-	cases := map[cache.Alloc]string{
+	// Every registered policy round-trips through the one shared
+	// parser/printer pair; the canonical spellings are pinned so wire
+	// protocols and flags stay stable.
+	want := map[cache.Alloc]string{
 		cache.GlobalLRU: "global-lru",
 		cache.LRUSP:     "lru-sp",
 		cache.LRUS:      "lru-s",
 		cache.AllocLRU:  "alloc-lru",
+		cache.ARC:       "arc",
+		cache.AWRP:      "awrp",
 	}
-	for a, want := range cases {
-		if a.String() != want {
-			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+	names := cache.AllocNames()
+	if len(names) != len(want) {
+		t.Errorf("registry has %d policies %v, want %d", len(names), names, len(want))
+	}
+	for _, a := range names {
+		got, err := cache.ParseAlloc(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlloc(%q.String()) = %v, %v; want round-trip", a, got, err)
 		}
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%v.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if _, err := cache.ParseAlloc("no-such-policy"); !errors.Is(err, cache.ErrUnknownAlloc) {
+		t.Errorf("ParseAlloc(unknown) = %v, want ErrUnknownAlloc", err)
+	}
+	if _, err := cache.ParseAlloc(""); !errors.Is(err, cache.ErrUnknownAlloc) {
+		t.Errorf("ParseAlloc(\"\") = %v, want ErrUnknownAlloc (wire callers must be explicit)", err)
 	}
 }
 
@@ -611,13 +633,19 @@ func TestBlockIDString(t *testing.T) {
 	}
 }
 
-func TestAllocAccessorAndUnknownString(t *testing.T) {
+func TestAllocAccessorAndZeroValue(t *testing.T) {
 	c := cache.New(cache.Config{Capacity: 2, Alloc: cache.GlobalLRU}, nil)
 	if c.Alloc() != cache.GlobalLRU {
 		t.Error("Alloc accessor wrong")
 	}
-	if got := cache.Alloc(99).String(); got != "alloc(99)" {
-		t.Errorf("unknown alloc String = %q", got)
+	// The zero value means the default policy, as it did when Alloc was
+	// an integer enum with GlobalLRU = 0.
+	z := cache.New(cache.Config{Capacity: 2}, nil)
+	if z.Alloc() != cache.GlobalLRU {
+		t.Errorf("zero-value Alloc built %q, want global-lru", z.Alloc())
+	}
+	if got := cache.Alloc("").String(); got != "global-lru" {
+		t.Errorf("zero Alloc String = %q, want global-lru", got)
 	}
 }
 

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Alloc names a registered allocation policy. It is a string type so the
+// one parser/printer pair (ParseAlloc / String) serves every surface that
+// names a policy — flags, the set_alloc wire op, experiment specs, stats
+// labels — and so the zero value can keep meaning "the default"
+// (GlobalLRU, as it did when Alloc was an integer enum).
+type Alloc string
+
+// The built-in allocation policies. The first four match the paper's
+// Section 6 comparisons; ARC and AWRP are the adaptive extensions.
+const (
+	GlobalLRU Alloc = "global-lru" // plain global LRU, managers never consulted
+	LRUSP     Alloc = "lru-sp"     // LRU with swapping and placeholders (the paper's policy)
+	LRUS      Alloc = "lru-s"      // swapping but no placeholders ("unprotected")
+	AllocLRU  Alloc = "alloc-lru"  // two-level over plain LRU: no swap, no placeholder
+	ARC       Alloc = "arc"        // adaptive replacement: T1/T2 + ghost lists
+	AWRP      Alloc = "awrp"       // adaptive weight ranking: frequency/recency score
+)
+
+// norm maps the zero value to the default policy. The integer enum's zero
+// value was GlobalLRU; a Config or RunSpec built without an Alloc must
+// keep meaning exactly that.
+func (a Alloc) norm() Alloc {
+	if a == "" {
+		return GlobalLRU
+	}
+	return a
+}
+
+func (a Alloc) String() string { return string(a.norm()) }
+
+// ErrUnknownAlloc reports a policy name absent from the registry. The
+// server maps it to its own distinct wire status; errors.Is works through
+// wrapping.
+var ErrUnknownAlloc = errors.New("cache: unknown allocation policy")
+
+// AllocPolicy is the allocation seam of two-level replacement: the
+// pluggable strategy that picks which buffer the kernel takes on a miss,
+// fed by upcalls at every insert, hit and removal so it can maintain its
+// own structures.
+//
+// Contract:
+//
+//   - The Cache owns the global recency list unconditionally (linkMRU on
+//     every insert and hit); utility walks (dirty scans, owner sweeps,
+//     invariant checks) depend on it. A policy maintains only its own
+//     extra state, threaded through Buf.pol — never heap-allocated per
+//     block, preserving the arena discipline.
+//   - Inserted(b) runs after b is linked and counted; Touched(b) after a
+//     hit moved b to the global MRU end; Removed(b) just before b leaves
+//     the cache (eviction, invalidation, owner sweep alike — the policy
+//     must unlink any intrusive state unconditionally).
+//   - Victim picks the candidate for missing. It must return a cached,
+//     preferably non-busy buffer, and must never return nil while the
+//     cache is non-empty (fall back to Cache.lruScan). It is only called
+//     when the cache is full and no placeholder redirected the choice.
+//   - Overruled(candidate, chosen) runs when a manager overruled the
+//     candidate; the policy mirrors whatever position exchange its
+//     structures need (LRU-SP swaps global list slots; ARC swaps T1/T2
+//     slots and re-aims its pending ghost).
+//   - TwoLevel gates manager consultation; Placeholders gates the
+//     placeholder protocol (construction and candidate redirection).
+type AllocPolicy interface {
+	Name() Alloc
+	Inserted(b *Buf)
+	Touched(b *Buf)
+	Removed(b *Buf)
+	Victim(missing BlockID, now sim.Time) *Buf
+	Overruled(candidate, chosen *Buf)
+	TwoLevel() bool
+	Placeholders() bool
+}
+
+// polNode is the allocation policy's per-buffer state, embedded in Buf so
+// policies never allocate per block: intrusive T1/T2 linkage for ARC,
+// frequency and recency for AWRP. Reset wholesale when a buffer recycles
+// and when the cache migrates to a different policy.
+type polNode struct {
+	prev, next *Buf  // ARC: resident-list linkage (nil when unlinked)
+	list       uint8 // ARC: which resident list (arcInT1 / arcInT2)
+	freq       int32 // AWRP: access count
+	lastUse    int64 // AWRP: policy-local logical clock at last access
+}
+
+// allocFactories is the policy registry. Populated at init time;
+// read-only afterwards, so concurrent ParseAlloc/New/SetAlloc need no
+// lock.
+var allocFactories = map[Alloc]func(*Cache) AllocPolicy{}
+
+// RegisterAlloc adds a policy to the registry under its name. Built-ins
+// register at init; external packages may add their own before building
+// caches. Re-registering a name panics — a silent override would
+// desynchronize every surface that already parsed it.
+func RegisterAlloc(name Alloc, factory func(*Cache) AllocPolicy) {
+	name = name.norm()
+	if _, dup := allocFactories[name]; dup {
+		panic(fmt.Sprintf("cache: allocation policy %q registered twice", name))
+	}
+	allocFactories[name] = factory
+}
+
+// ParseAlloc resolves a policy name to its registered Alloc. This is the
+// one parser behind every name-accepting surface; unknown names (and the
+// empty string — wire callers must be explicit) return ErrUnknownAlloc.
+func ParseAlloc(s string) (Alloc, error) {
+	if _, ok := allocFactories[Alloc(s)]; !ok {
+		return "", fmt.Errorf("%w %q (have %v)", ErrUnknownAlloc, s, AllocNames())
+	}
+	return Alloc(s), nil
+}
+
+// AllocNames lists the registered policies, sorted for stable help text
+// and error messages.
+func AllocNames() []Alloc {
+	names := make([]Alloc, 0, len(allocFactories))
+	for n := range allocFactories {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func init() {
+	for _, e := range []struct {
+		name         Alloc
+		swap, ph, tl bool
+	}{
+		{GlobalLRU, false, false, false},
+		{LRUSP, true, true, true},
+		{LRUS, true, false, true},
+		{AllocLRU, false, false, true},
+	} {
+		e := e
+		RegisterAlloc(e.name, func(c *Cache) AllocPolicy {
+			return &lruPolicy{c: c, name: e.name, swap: e.swap, ph: e.ph, twoLevel: e.tl}
+		})
+	}
+	RegisterAlloc(ARC, func(c *Cache) AllocPolicy { return newARCPolicy(c) })
+	RegisterAlloc(AWRP, func(c *Cache) AllocPolicy { return newAWRPPolicy(c) })
+}
+
+// lruPolicy is the whole classic family — GlobalLRU, LRU-SP, LRU-S and
+// ALLOC-LRU — over the Cache's own global recency list. The list is
+// maintained by the Cache for every policy, so this policy stores nothing
+// per block; the four variants differ only in the flags that gate
+// manager consultation, position swapping and placeholders, exactly as
+// the retired enum methods did.
+type lruPolicy struct {
+	c        *Cache
+	name     Alloc
+	swap     bool
+	ph       bool
+	twoLevel bool
+}
+
+func (p *lruPolicy) Name() Alloc        { return p.name }
+func (p *lruPolicy) Inserted(b *Buf)    {}
+func (p *lruPolicy) Touched(b *Buf)     {}
+func (p *lruPolicy) Removed(b *Buf)     {}
+func (p *lruPolicy) TwoLevel() bool     { return p.twoLevel }
+func (p *lruPolicy) Placeholders() bool { return p.ph }
+
+func (p *lruPolicy) Victim(missing BlockID, now sim.Time) *Buf {
+	return p.c.lruScan(now)
+}
+
+func (p *lruPolicy) Overruled(candidate, chosen *Buf) {
+	if p.swap {
+		p.c.swapPositions(candidate, chosen)
+	}
+}
+
+// newAllocPolicy builds the policy for cfg.Alloc; construction-time
+// resolution panics on an unknown name (matching the old enum, where an
+// out-of-range value could not name behavior at all).
+func (c *Cache) newAllocPolicy(name Alloc) AllocPolicy {
+	f := allocFactories[name.norm()]
+	if f == nil {
+		panic(fmt.Sprintf("cache: unknown allocation policy %q", name))
+	}
+	return f(c)
+}
+
+// SetAlloc hot-swaps the allocation policy on a live cache: a
+// migrate-in-place transition that relinks every resident block into the
+// new policy's structures and drops state only the old policy could
+// interpret.
+//
+// Transition rule: placeholders record *policy decisions* (LRU-SP
+// overrules), so they are all dropped — the new policy starts with a
+// clean decision record. Resident blocks, their dirty state, their data
+// slots and their ACM level linkage are untouched. The global list is
+// walked LRU to MRU and each block re-announced through Inserted, so a
+// recency-based policy inherits the existing order (ARC starts with
+// everything in T1, its cold-start state; AWRP starts with frequency 1
+// and recency in list order).
+func (c *Cache) SetAlloc(name Alloc) error {
+	name = name.norm()
+	f := allocFactories[name]
+	if f == nil {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownAlloc, string(name), AllocNames())
+	}
+	if name == c.pol.Name() {
+		return nil
+	}
+	np := f(c)
+	if c.repl == nil && np.TwoLevel() {
+		return fmt.Errorf("cache: policy %q requires a Replacer (cache built without one)", name)
+	}
+	// Drop every placeholder: they encode the old policy's overrule
+	// history. Collect-then-delete — forEach must not see mutation.
+	var stale []*placeholder
+	c.ph.forEach(func(k key, ph *placeholder) { stale = append(stale, ph) })
+	for _, ph := range stale {
+		c.dropPlaceholder(ph)
+	}
+	if np.Placeholders() {
+		// Swapping into a placeholder policy on a cache built without
+		// one: pre-size the (now empty) index so steady-state placeholder
+		// churn stays rehash-free, as New would have. reserve no-ops when
+		// the table is already big enough.
+		c.ph.reserve(c.cfg.Capacity)
+	}
+	// Relink residents LRU→MRU so order-sensitive policies inherit the
+	// global recency order.
+	for b := c.head.gnext; b != c.tail; b = b.gnext {
+		b.pol = polNode{}
+		np.Inserted(b)
+	}
+	c.pol = np
+	c.cfg.Alloc = name
+	c.stats.AllocSwaps++
+	return nil
+}

@@ -165,7 +165,18 @@ type LiveConfig struct {
 	// oracle test needs; a production daemon may prefer wall time so
 	// that update-style flushing ages in seconds.
 	WallClock bool
+
+	// HitWindow sizes the windowed hit-ratio gauge: the hit ratio of the
+	// last HitWindow cache accesses (reads and writes), refreshed each
+	// time a window completes. The gauge feeds the per-shard
+	// alloc_hit_ratio metric and the online policy adapter. Default 1024
+	// accesses; the counter always runs (it is two integer adds per
+	// access).
+	HitWindow int
 }
+
+// DefaultHitWindow is the HitWindow applied when the config leaves it 0.
+const DefaultHitWindow = 1024
 
 func (c LiveConfig) cacheBlocks() int {
 	bytes := c.CacheBytes
@@ -290,6 +301,17 @@ type Live struct {
 
 	fill          stats.FillStats
 	wbOutstanding int64 // write-backs enqueued, not yet completed
+
+	// Windowed hit-ratio gauge (see LiveConfig.HitWindow): winHits and
+	// winAccesses accumulate the current window; when winAccesses reaches
+	// the window size, the completed window's ratio is latched into
+	// lastWindowBP (basis points) and the counters reset. windowsDone
+	// lets the policy adapter detect window boundaries without its own
+	// counting.
+	winHits      int64
+	winAccesses  int64
+	lastWindowBP int64
+	windowsDone  int64
 }
 
 // NewLive builds a Live kernel.
@@ -520,6 +542,7 @@ func (l *Live) ReadTo(owner int, fid fs.FileID, blk int32, off, size int, reply 
 	id := cache.BlockID{File: fid, Num: blk}
 	if b := l.bc.LookupBy(id, owner, off, size); b != nil {
 		o.stats.Hits++
+		l.noteAccess(true)
 		l.notePrefetchHit(id)
 		if b.Busy(now) {
 			// Fill still in flight: coalesce onto it, as waitValid would.
@@ -535,6 +558,7 @@ func (l *Live) ReadTo(owner int, fid fs.FileID, blk int32, off, size int, reply 
 		return true
 	}
 	o.stats.Misses++
+	l.noteAccess(false)
 	buf, victim := l.bc.Insert(id, owner, now)
 	werr := l.flushVictim(victim)
 	buf.Referenced = true
@@ -587,6 +611,7 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 	b := l.bc.LookupBy(id, owner, off, len(payload))
 	if b != nil {
 		o.stats.Hits++
+		l.noteAccess(true)
 		l.notePrefetchHit(id)
 		if b.Busy(now) {
 			if fl := l.mshr[id]; fl != nil && fl.buf == b {
@@ -603,6 +628,7 @@ func (l *Live) Write(owner int, fid fs.FileID, blk int32, off int, payload []byt
 		return true
 	}
 	o.stats.Misses++
+	l.noteAccess(false)
 	b, victim := l.bc.Insert(id, owner, now)
 	werr := l.flushVictim(victim)
 	b.Referenced = true
@@ -1058,6 +1084,55 @@ func (l *Live) mgr(owner int) (*liveOwner, *acm.Manager, error) {
 	o.stats.FbehaviorCalls++
 	return o, o.mgr, nil
 }
+
+// noteAccess feeds the windowed hit-ratio gauge; called once per cache
+// read or write on the kernel goroutine.
+func (l *Live) noteAccess(hit bool) {
+	l.winAccesses++
+	if hit {
+		l.winHits++
+	}
+	window := int64(l.cfg.HitWindow)
+	if window <= 0 {
+		window = DefaultHitWindow
+	}
+	if l.winAccesses >= window {
+		l.lastWindowBP = 10000 * l.winHits / l.winAccesses
+		l.winHits, l.winAccesses = 0, 0
+		l.windowsDone++
+	}
+}
+
+// HitRatioWindowBP returns the hit ratio of the last completed access
+// window in basis points (0..10000), or of the partial current window
+// before the first completes.
+func (l *Live) HitRatioWindowBP() int64 {
+	if l.windowsDone == 0 && l.winAccesses > 0 {
+		return 10000 * l.winHits / l.winAccesses
+	}
+	return l.lastWindowBP
+}
+
+// HitWindowsDone returns how many access windows have completed; the
+// policy adapter uses it to pace its evaluations.
+func (l *Live) HitWindowsDone() int64 { return l.windowsDone }
+
+// SetAllocPolicy hot-swaps the kernel's allocation policy by name; see
+// cache.SetAlloc for the migrate-in-place contract. Kernel goroutine
+// only.
+func (l *Live) SetAllocPolicy(name cache.Alloc) error {
+	if err := l.bc.SetAlloc(name); err != nil {
+		return err
+	}
+	// A fresh policy deserves a fresh evaluation window: a half-window
+	// measured across the swap would charge the new policy for the old
+	// one's misses.
+	l.winHits, l.winAccesses = 0, 0
+	return nil
+}
+
+// AllocPolicy returns the name of the allocation policy in force.
+func (l *Live) AllocPolicy() cache.Alloc { return l.bc.Alloc() }
 
 // SetPriority sets the long-term cache priority of a file.
 func (l *Live) SetPriority(owner int, fid fs.FileID, prio int) error {

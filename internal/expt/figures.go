@@ -577,6 +577,10 @@ var Experiments = map[string]func(*Runner) []Table{
 	"ablation": Ablation,
 	"policies": func(r *Runner) []Table { return Policies(r, nil) },
 	"vm":       VM,
+	// Not in Order: the tournament compares post-paper policies, so it
+	// runs on request (acbench -tournament, make bench-policy-tournament)
+	// rather than inside "all".
+	"tournament": Tournament,
 }
 
 // Order is the presentation order for "all".

@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestTournamentARCBeatsGlobalLRU is the tournament's reason to exist:
+// with no manager steering, the scan-resistant ARC policy must win the
+// global hit ratio against GlobalLRU on at least one scan-heavy mix.
+// (Not on all — some mixes fit in cache or are genuinely LRU-friendly.)
+func TestTournamentARCBeatsGlobalLRU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full DES matrix")
+	}
+	r := NewRunner(0)
+	results := RunTournament(r, 6.4)
+	hit := make(map[string]map[cache.Alloc]float64)
+	for _, res := range results {
+		if hit[res.Mix] == nil {
+			hit[res.Mix] = make(map[cache.Alloc]float64)
+		}
+		hit[res.Mix][res.Policy] = res.HitRatio
+	}
+	wins := 0
+	for mix, byPol := range hit {
+		arc, lru := byPol[cache.ARC], byPol[cache.GlobalLRU]
+		t.Logf("%-20s arc %.4f  global-lru %.4f", mix, arc, lru)
+		if arc > lru {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("ARC never beat GlobalLRU on any scan-heavy mix")
+	}
+}

@@ -45,6 +45,13 @@
 //	set_temppri   file u32 | start u32 | end u32 |      -
 //	              prio i32
 //	stats         -                                     JSON (StatsReply)
+//	set_alloc     name                                  name (canonical)
+//	get_alloc     -                                     name
+//
+// set_alloc broadcasts like control/set_policy: the named allocation
+// policy (see cache.ParseAlloc) is installed in every shard before the
+// next frame runs; an unrecognized name is rejected with
+// unknown_policy. get_alloc anchors at shard 0.
 //
 // Non-OK responses carry the error message as the body.
 package server
@@ -73,6 +80,8 @@ const (
 	OpGetPolicy
 	OpSetTempPri
 	OpStats
+	OpSetAlloc
+	OpGetAlloc
 )
 
 // Statuses (response tag).
@@ -86,7 +95,8 @@ const (
 	StatusRefused   // server is draining for shutdown
 	StatusIO
 	StatusRange
-	StatusRevoked // the session's owner is unknown or already released
+	StatusRevoked       // the session's owner is unknown or already released
+	StatusUnknownPolicy // set_alloc named a policy the registry does not know
 )
 
 // StatusName names a status for reports.
@@ -112,6 +122,8 @@ func StatusName(st uint8) string {
 		return "range"
 	case StatusRevoked:
 		return "revoked"
+	case StatusUnknownPolicy:
+		return "unknown_policy"
 	}
 	return fmt.Sprintf("status%d", st)
 }

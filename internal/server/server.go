@@ -77,6 +77,24 @@ type Config struct {
 	// every stats surface: the wire stats reply, Metrics, and /metrics.
 	// Per-shard sections are unchanged — the counters are not per-shard.
 	ExtraFill func() stats.FillStats
+
+	// AdaptAlloc, when non-empty, turns on the per-shard online
+	// allocation-policy adapter over the named candidate policies (see
+	// cache.ParseAlloc). Each shard samples every candidate for one epoch
+	// (AdaptEvery completed hit windows), scores it by EWMA windowed hit
+	// ratio, then settles on the best — switching later only when a
+	// fresh probe beats the incumbent by more than AdaptHysteresisBP
+	// basis points. Adapter swaps run on the shard goroutine through the
+	// same SetAllocPolicy migration as the set_alloc wire op, and count
+	// in the alloc_swaps stat. New panics at construction on an unknown
+	// candidate name.
+	AdaptAlloc []string
+	// AdaptEvery is the adapter epoch length in completed hit windows
+	// (default 4; the window itself is Kernel.HitWindow accesses).
+	AdaptEvery int64
+	// AdaptHysteresisBP is the switching threshold in basis points of
+	// windowed hit ratio (default 200 = two percentage points).
+	AdaptHysteresisBP int64
 }
 
 func (c *Config) fillDefaults() {
@@ -95,16 +113,34 @@ func (c *Config) fillDefaults() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 4
+	}
+	if c.AdaptHysteresisBP <= 0 {
+		c.AdaptHysteresisBP = 200
+	}
 }
 
 // StatsReply is the JSON body of an OpStats response. With more than one
 // shard, Session and Kernel aggregate over the shards and PerShard
 // carries the breakdown; a 1-shard server omits PerShard so its wire
-// responses are identical to the unsharded server's.
+// responses are identical to the unsharded server's. Alloc always has
+// one entry per shard: policy names are strings, so they ride beside
+// the numeric snapshots rather than inside them.
 type StatsReply struct {
 	Session  core.ProcStats   `json:"session"`
 	Kernel   stats.Snapshot   `json:"kernel"`
 	PerShard []stats.Snapshot `json:"per_shard,omitempty"`
+	Alloc    []AllocStatus    `json:"alloc,omitempty"`
+}
+
+// AllocStatus is one shard's allocation-policy line in a StatsReply:
+// the active policy plus the windowed hit-ratio gauge behind the
+// adapter (basis points over the last completed HitWindow accesses).
+type AllocStatus struct {
+	Policy      string `json:"policy"`
+	HitWindowBP int64  `json:"hit_window_bp"`
+	WindowsDone int64  `json:"windows_done"`
 }
 
 // SessionInfo describes one live session in a Metrics snapshot. Owner is
@@ -124,6 +160,11 @@ type ShardMetrics struct {
 	FillsInflight      int
 	WritebacksInflight int
 	CachedBlocks       int
+	// AllocPolicy is the shard's active allocation policy and
+	// AllocHitRatioBP the windowed hit-ratio gauge (basis points over
+	// the last completed window) that the online adapter steers by.
+	AllocPolicy     string
+	AllocHitRatioBP int64
 }
 
 // Metrics is a point-in-time server snapshot. The top-level fields
@@ -329,6 +370,10 @@ type shard struct {
 	// fq is the shard's fill queue (nil in legacy goroutine-per-fill
 	// mode); the worker pool drains it. Closed at retire.
 	fq *fillQueue
+
+	// adapter is the shard's online allocation-policy adapter (nil
+	// unless Config.AdaptAlloc is set); ticked between requests.
+	adapter *allocAdapter
 }
 
 // remapStore gives each shard a disjoint keyspace in the shared block
@@ -460,6 +505,9 @@ func New(cfg Config) *Server {
 			go sh.flusher(store, batchCapable)
 		}
 		sh.kern = core.NewLive(kcfg)
+		if len(cfg.AdaptAlloc) > 0 {
+			sh.adapter = newAllocAdapter(cfg.AdaptAlloc, cfg.AdaptEvery, cfg.AdaptHysteresisBP, sh.kern)
+		}
 		kerns = append(kerns, sh.kern)
 		srv.shards = append(srv.shards, sh)
 	}
@@ -667,8 +715,8 @@ func (se *session) readLoop() {
 // before the reader can enqueue the session's next frame.
 func (s *Server) dispatch(se *session, r *request) {
 	switch r.op {
-	case OpControl, OpSetPolicy:
-		// Both complete (every shard round-trip included) before
+	case OpControl, OpSetPolicy, OpSetAlloc:
+		// All complete (every shard round-trip included) before
 		// returning, so the request recycles here.
 		s.broadcastCtl(se, r)
 		releaseRequest(r)
@@ -729,6 +777,7 @@ var errDraining = errors.New("server draining")
 // consuming, so the round-trips cannot deadlock.
 func (s *Server) broadcastCtl(se *session, r *request) {
 	s.xRequests.Add(1)
+	var alloc cache.Alloc
 	switch r.op {
 	case OpControl:
 		if len(r.body) != 1 {
@@ -740,6 +789,15 @@ func (s *Server) broadcastCtl(se *session, r *request) {
 			se.send(r.id, StatusBadRequest, []byte("set_policy: want 5-byte body"))
 			return
 		}
+	case OpSetAlloc:
+		// Validate before touching any shard so an unknown name can
+		// never leave the shards split across policies.
+		a, err := cache.ParseAlloc(string(r.body))
+		if err != nil {
+			se.send(r.id, StatusUnknownPolicy, []byte(err.Error()))
+			return
+		}
+		alloc = a
 	}
 	var firstErr error
 	refused := false
@@ -761,6 +819,8 @@ func (s *Server) broadcastCtl(se *session, r *request) {
 				}
 			case OpSetPolicy:
 				err = sh.kern.SetPolicy(ow, int(int32(be32(r.body[0:]))), acm.Policy(r.body[4]))
+			case OpSetAlloc:
+				err = sh.kern.SetAllocPolicy(alloc)
 			}
 			reply <- err
 		}}
@@ -778,6 +838,8 @@ func (s *Server) broadcastCtl(se *session, r *request) {
 		se.sendErr(r.id, firstErr)
 	case r.op == OpSetPolicy:
 		se.send(r.id, StatusOK, []byte{r.body[4]})
+	case r.op == OpSetAlloc:
+		se.send(r.id, StatusOK, []byte(alloc.String()))
 	default:
 		se.send(r.id, StatusOK, nil)
 	}
@@ -789,12 +851,14 @@ func (s *Server) broadcastCtl(se *session, r *request) {
 func (s *Server) aggregateStats(se *session, r *request) {
 	s.xRequests.Add(1)
 	type rep struct {
-		st   core.ProcStats
-		snap stats.Snapshot
-		err  error
+		st    core.ProcStats
+		snap  stats.Snapshot
+		alloc AllocStatus
+		err   error
 	}
 	var agg core.ProcStats
 	var snaps []stats.Snapshot
+	var allocs []AllocStatus
 	var firstErr error
 	refused := false
 	for _, sh := range s.shards {
@@ -805,7 +869,11 @@ func (s *Server) aggregateStats(se *session, r *request) {
 				return
 			}
 			st, err := sh.kern.OwnerStats(se.owners[sh.idx])
-			reply <- rep{st: st, snap: sh.kern.Snapshot(), err: err}
+			reply <- rep{st: st, snap: sh.kern.Snapshot(), err: err, alloc: AllocStatus{
+				Policy:      sh.kern.AllocPolicy().String(),
+				HitWindowBP: sh.kern.HitRatioWindowBP(),
+				WindowsDone: sh.kern.HitWindowsDone(),
+			}}
 		}}
 		rp := <-reply
 		switch {
@@ -818,6 +886,7 @@ func (s *Server) aggregateStats(se *session, r *request) {
 		default:
 			agg.Add(rp.st)
 			snaps = append(snaps, rp.snap)
+			allocs = append(allocs, rp.alloc)
 		}
 	}
 	if refused {
@@ -829,7 +898,7 @@ func (s *Server) aggregateStats(se *session, r *request) {
 		se.sendErr(r.id, firstErr)
 		return
 	}
-	sr := StatsReply{Session: agg, Kernel: stats.Aggregate(snaps)}
+	sr := StatsReply{Session: agg, Kernel: stats.Aggregate(snaps), Alloc: allocs}
 	if s.cfg.ExtraFill != nil {
 		sr.Kernel.Fill.Accumulate(s.cfg.ExtraFill())
 	}
@@ -961,6 +1030,8 @@ func (s *Server) Metrics() (Metrics, bool) {
 				FillsInflight:      sh.fillsInflight,
 				WritebacksInflight: sh.wbInflight,
 				CachedBlocks:       sh.kern.Cache().Len(),
+				AllocPolicy:        sh.kern.AllocPolicy().String(),
+				AllocHitRatioBP:    sh.kern.HitRatioWindowBP(),
 			}}
 			for se := range sh.sessions {
 				st, _ := sh.kern.OwnerStats(se.owners[sh.idx])
@@ -1170,6 +1241,8 @@ func statusOf(err error) uint8 {
 		return StatusRevoked
 	case errors.Is(err, core.ErrNoControl), errors.Is(err, core.ErrControlled):
 		return StatusNoControl
+	case errors.Is(err, cache.ErrUnknownAlloc):
+		return StatusUnknownPolicy
 	case err != nil && strings.Contains(err.Error(), "exists"):
 		return StatusExists
 	case err != nil && (strings.Contains(err.Error(), "limit") || strings.Contains(err.Error(), "space")):
@@ -1196,6 +1269,9 @@ func (sh *shard) local(wire fs.FileID) fs.FileID {
 // asynchronously (handleRead) must copy what they need out of r first.
 func (sh *shard) handle(se *session, r *request) (retained bool) {
 	sh.requests++
+	if sh.adapter != nil {
+		sh.adapter.tick()
+	}
 	if sh.draining {
 		sh.refused++
 		se.send(r.id, StatusRefused, []byte("server shutting down"))
@@ -1226,6 +1302,8 @@ func (sh *shard) handle(se *session, r *request) (retained bool) {
 			return false
 		}
 		se.send(r.id, StatusOK, nil)
+	case OpGetAlloc:
+		se.send(r.id, StatusOK, []byte(sh.kern.AllocPolicy().String()))
 	case OpSetPriority, OpGetPriority, OpGetPolicy, OpSetTempPri:
 		sh.handleFbehavior(se, r)
 	default:

@@ -24,7 +24,7 @@ func startServer(t *testing.T, cfg server.Config) (*server.Server, string, func(
 	if cfg.Kernel.CacheBytes == 0 {
 		cfg.Kernel.CacheBytes = core.MB(1)
 	}
-	if cfg.Kernel.Alloc == 0 {
+	if cfg.Kernel.Alloc == "" {
 		cfg.Kernel.Alloc = cache.LRUSP
 	}
 	cfg.CheckInvariants = true

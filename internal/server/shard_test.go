@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/acm"
+	"repro/internal/cache"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/stats"
@@ -277,6 +278,31 @@ func TestMetricsDrift(t *testing.T) {
 	}
 	if got := lines["acfcd_writebacks_inflight"]; got != int64(m.WritebacksInflight) {
 		t.Errorf("writebacks_inflight: plaintext %d, struct %d", got, m.WritebacksInflight)
+	}
+
+	// Allocation-policy surfaces: the wire reply's alloc section, the
+	// Metrics struct, and the plaintext must agree per shard.
+	if len(sr.Alloc) != shards {
+		t.Fatalf("wire alloc sections: %d, want %d", len(sr.Alloc), shards)
+	}
+	for i, sm := range m.Shards {
+		if sr.Alloc[i].Policy != sm.AllocPolicy {
+			t.Errorf("shard %d policy: wire %q, metrics %q", i, sr.Alloc[i].Policy, sm.AllocPolicy)
+		}
+		if sm.AllocPolicy != cache.LRUSP.String() {
+			t.Errorf("shard %d policy = %q, want %q", i, sm.AllocPolicy, cache.LRUSP)
+		}
+		if sr.Alloc[i].HitWindowBP != sm.AllocHitRatioBP {
+			t.Errorf("shard %d hit window: wire %d, metrics %d", i, sr.Alloc[i].HitWindowBP, sm.AllocHitRatioBP)
+		}
+		pl := fmt.Sprintf(`{shard="%d",policy=%q}`, i, sm.AllocPolicy)
+		if got := lines["acfcd_shard_alloc_policy"+pl]; got != 1 {
+			t.Errorf("shard %d: plaintext policy line %s = %d, want 1", i, pl, got)
+		}
+		l := fmt.Sprintf(`{shard="%d"}`, i)
+		if got := lines["acfcd_shard_alloc_hit_window_bp"+l]; got != sm.AllocHitRatioBP {
+			t.Errorf("shard %d hit window: plaintext %d, struct %d", i, got, sm.AllocHitRatioBP)
+		}
 	}
 }
 
